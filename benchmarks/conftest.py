@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one table or figure of the
+paper: it runs the experiment driver once under pytest-benchmark (wall
+time of the regeneration is the benchmarked quantity) and prints the
+rows the paper reports, so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the evaluation section end to end.
+"""
+
+import pytest
+
+
+def run_and_render(benchmark, driver, **kwargs):
+    """Run one experiment driver under pytest-benchmark and print it."""
+    result = benchmark.pedantic(lambda: driver(**kwargs),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def render(benchmark):
+    def runner(driver, **kwargs):
+        return run_and_render(benchmark, driver, **kwargs)
+
+    return runner

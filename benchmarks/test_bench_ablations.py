@@ -1,0 +1,21 @@
+"""Regenerates the DESIGN.md ablation studies."""
+
+from repro.experiments import ablations
+from conftest import run_and_render
+
+
+def test_bench_pump_vs_ring(benchmark):
+    result = run_and_render(benchmark, ablations.pump_vs_ring)
+    by_count = {row["consumers"]: row for row in result.rows}
+    assert by_count[6]["pump_penalty"] > by_count[1]["pump_penalty"]
+
+
+def test_bench_ring_capacity(benchmark):
+    result = run_and_render(benchmark, ablations.ring_capacity)
+    times = [row["time_us"] for row in result.rows]
+    assert times[0] >= times[-1]  # capacity 1 slowest
+
+
+def test_bench_waitlock(benchmark):
+    result = run_and_render(benchmark, ablations.waitlock)
+    assert len(result.rows) == 2

@@ -1,0 +1,20 @@
+"""Regenerates the §5.1 transparent-failover measurements."""
+
+import pytest
+
+from repro.experiments import failover
+from conftest import run_and_render
+
+
+def test_bench_failover(benchmark):
+    result = run_and_render(benchmark, failover.run)
+    rows = {row["scenario"]: row for row in result.rows}
+    baseline = rows["redis HMGET baseline (no buggy version)"]
+    follower = rows["redis buggy revision as follower"]
+    leader = rows["redis buggy revision as leader"]
+    # Paper: 42.36us baseline, no change on follower crash, 122.62us on
+    # leader crash.
+    assert follower["latency_us"] == pytest.approx(
+        baseline["latency_us"], rel=0.02)
+    assert leader["latency_us"] == pytest.approx(122.62, rel=0.25)
+    assert baseline["latency_us"] == pytest.approx(42.36, rel=0.25)

@@ -1,0 +1,14 @@
+"""Regenerates Figure 4: system call microbenchmarks."""
+
+from repro.experiments import figure4
+from conftest import run_and_render
+
+
+def test_bench_figure4(benchmark):
+    result = run_and_render(benchmark, figure4.run, iterations=200,
+                            warmup=20)
+    by_call = {row["syscall"]: row for row in result.rows}
+    # Shape assertions straight from the paper's discussion (§4.1).
+    assert by_call["close"]["follower"] < by_call["close"]["native"]
+    assert by_call["open"]["leader"] > 3 * by_call["open"]["native"]
+    assert by_call["time"]["native"] < 100  # vDSO fast path

@@ -1,0 +1,18 @@
+"""Regenerates Figure 5: C10k server overhead for 0-6 followers."""
+
+from repro.experiments import figure5
+from conftest import run_and_render
+
+
+def test_bench_figure5(benchmark):
+    result = run_and_render(benchmark, figure5.run, scale=0.005)
+    rows = {row["server"]: row for row in result.rows}
+    # Who wins / who loses, per the paper:
+    assert rows["beanstalkd"]["f1"] > rows["lighttpd"]["f1"]
+    assert rows["redis"]["f1"] < 1.2
+    # Overhead grows (weakly) with follower count for every server.
+    for row in rows.values():
+        assert row["f6"] >= row["f0"] - 0.02
+    # Beanstalkd alone pays a visible interception cost (INT0 site).
+    assert rows["beanstalkd"]["f0"] > 1.05
+    assert rows["lighttpd"]["f0"] < 1.05

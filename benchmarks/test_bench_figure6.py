@@ -1,0 +1,13 @@
+"""Regenerates Figure 6: prior-work servers under Varan."""
+
+from repro.experiments import figure6
+from conftest import run_and_render
+
+
+def test_bench_figure6(benchmark):
+    result = run_and_render(benchmark, figure6.run, scale=0.02,
+                            follower_counts=(0, 1, 2, 3, 4, 5, 6))
+    # Varan scales essentially flat on these workloads (§4.3).
+    for row in result.rows:
+        assert row["f6"] < 1.35
+        assert row["f0"] < 1.1

@@ -1,0 +1,13 @@
+"""Regenerates Figure 7: SPEC CPU2000 overhead for 0-6 followers."""
+
+from repro.experiments import figure7
+from conftest import run_and_render
+
+
+def test_bench_figure7(benchmark):
+    result = run_and_render(benchmark, figure7.run, scale=0.05)
+    rows = {row["benchmark"]: row for row in result.rows}
+    # mcf (memory-bound) scales far worse than eon/crafty (cache-light).
+    assert rows["181.mcf"]["f6"] > 2.5
+    assert rows["252.eon"]["f6"] < 1.6
+    assert rows["186.crafty"]["f1"] < 1.15

@@ -1,0 +1,14 @@
+"""Regenerates Figure 8: SPEC CPU2006 overhead for 0-6 followers."""
+
+from repro.experiments import figure8
+from conftest import run_and_render
+
+
+def test_bench_figure8(benchmark):
+    result = run_and_render(benchmark, figure8.run, scale=0.05)
+    rows = {row["benchmark"]: row for row in result.rows}
+    assert rows["429.mcf"]["f6"] > 2.5
+    assert rows["456.hmmer"]["f6"] < 1.7
+    # Suite-wide: overhead is monotone-ish in follower count.
+    for row in result.rows:
+        assert row["f6"] >= row["f1"] - 0.05

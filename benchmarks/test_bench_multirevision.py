@@ -1,0 +1,13 @@
+"""Regenerates the §5.2 multi-revision execution experiment."""
+
+from repro.experiments import multirevision
+from conftest import run_and_render
+
+
+def test_bench_multirevision(benchmark):
+    result = run_and_render(benchmark, multirevision.run)
+    varan_rows = [r for r in result.rows if r["monitor"] == "varan+bpf"]
+    assert all(r["followers_alive"] == 1 for r in varan_rows)
+    lockstep = [r for r in result.rows
+                if r["monitor"] == "ptrace-lockstep"][0]
+    assert lockstep["followers_alive"] == 0  # prior systems cannot

@@ -1,0 +1,23 @@
+"""Regenerates the §5.4 record-replay comparison with Scribe."""
+
+from repro.experiments import recordreplay_exp
+from conftest import run_and_render
+
+
+def test_bench_recordreplay(benchmark):
+    result = run_and_render(benchmark, recordreplay_exp.run, scale=0.02)
+    rows = {row["system"]: row for row in result.rows}
+    varan = rows["varan record client"]["overhead"]
+    scribe = rows["scribe (in-kernel)"]["overhead"]
+    # Paper: 14% vs 53%.
+    assert varan < scribe
+    assert varan < 1.3
+    assert scribe > 1.25
+
+
+def test_bench_replay_triage(benchmark):
+    outcome = benchmark.pedantic(recordreplay_exp.triage_crash,
+                                 rounds=1, iterations=1)
+    print()
+    print("replay triage:", outcome)
+    assert outcome["crashed_revisions"] == [outcome["expected_buggy"]]

@@ -1,0 +1,20 @@
+"""Legacy setup shim: keeps ``pip install -e .`` working offline.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs cannot build; this shim lets pip fall back to
+``setup.py develop``. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Varan the Unbelievable (ASPLOS 2015) reproduced: an N-version "
+        "execution framework on a deterministic simulated-OS substrate"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

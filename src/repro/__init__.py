@@ -1,0 +1,66 @@
+"""Varan the Unbelievable, reproduced.
+
+A complete Python reproduction of the N-version execution framework
+from *"Varan the Unbelievable: An Efficient N-version Execution
+Framework"* (Hosek & Cadar, ASPLOS 2015), built on a deterministic
+simulated-OS substrate.
+
+Quick start::
+
+    from repro import World, NvxSession, VersionSpec
+
+    def app(ctx):
+        fd = yield from ctx.open("/dev/null")
+        t = yield from ctx.time()
+        yield from ctx.close(fd)
+        return t
+
+    world = World()
+    session = NvxSession(world, [VersionSpec("a", app),
+                                 VersionSpec("b", app)]).start()
+    world.run()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.bpf import RewriteRules, assemble_bpf
+from repro.core import NvxSession, VersionSpec
+from repro.costmodel import CostModel, DEFAULT_COSTS, cycles
+from repro.errors import ReproError
+from repro.nvx import (
+    LockstepSession,
+    MX_PROFILE,
+    ORCHESTRA_PROFILE,
+    ScribeSession,
+    TACHYON_PROFILE,
+)
+from repro.recordreplay import Recorder, ReplaySession
+from repro.sanitizers import ASAN, MSAN, TSAN, sanitized_spec
+from repro.world import World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RewriteRules",
+    "assemble_bpf",
+    "NvxSession",
+    "VersionSpec",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "cycles",
+    "ReproError",
+    "LockstepSession",
+    "MX_PROFILE",
+    "ORCHESTRA_PROFILE",
+    "ScribeSession",
+    "TACHYON_PROFILE",
+    "Recorder",
+    "ReplaySession",
+    "ASAN",
+    "MSAN",
+    "TSAN",
+    "sanitized_spec",
+    "World",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure4
+    python -m repro figure5 --scale 0.01
+    python -m repro all --scale 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Varan paper's tables and figures")
+    parser.add_argument("experiment",
+                        help="experiment id (see 'list'), 'all' or 'list'")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor for server benchmarks")
+    return parser
+
+
+def main(argv=None) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    chosen = (sorted(EXPERIMENTS) if args.experiment == "all"
+              else [args.experiment])
+    scaled = {"figure5", "figure6", "table2", "figure7", "figure8",
+              "sanitization-5.3", "recordreplay-5.4"}
+    for experiment_id in chosen:
+        if experiment_id not in EXPERIMENTS:
+            print(f"unknown experiment {experiment_id!r}; "
+                  f"try 'list'", file=sys.stderr)
+            return 2
+        kwargs = {}
+        if args.scale is not None and experiment_id in scaled:
+            kwargs["scale"] = args.scale
+        started = time.time()
+        result = run_experiment(experiment_id, **kwargs)
+        print(result.render())
+        print(f"[{experiment_id} regenerated in "
+              f"{time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Simulated server applications and SPEC workloads (Table 1, §4)."""
+
+from repro.apps.base import (
+    Connection,
+    EpollServer,
+    ServerStats,
+    http_response,
+    parse_http_request,
+    parse_line_request,
+)
+from repro.apps.beanstalkd import beanstalkd_image, make_beanstalkd
+from repro.apps.httpd import (
+    APACHE_HTTPD,
+    HTTPD_SITES,
+    LIGHTTPD,
+    LIGHTTPD_REVISIONS,
+    THTTPD,
+    HttpProfile,
+    httpd_image,
+    lighttpd_revision,
+    make_httpd,
+)
+from repro.apps.memcached import make_memcached, memcached_image
+from repro.apps.nginx import make_nginx, nginx_image
+from repro.apps.redis import (
+    BUGGY_REVISION,
+    REVISIONS,
+    make_redis,
+    redis_image,
+)
+from repro.apps.spec import (
+    ALL_SPEC,
+    CPU2000,
+    CPU2006,
+    SpecBenchmark,
+    make_spec,
+    memory_pressure_factor,
+    spec_image,
+)
+
+#: Table 1 — the servers used in the evaluation, with the line counts
+#: and threading models the paper reports.
+TABLE_1 = (
+    {"application": "Beanstalkd", "size_loc": 6365,
+     "threading": "single-threaded"},
+    {"application": "Lighttpd", "size_loc": 38_590,
+     "threading": "single-threaded"},
+    {"application": "Memcached", "size_loc": 9_779,
+     "threading": "multi-threaded"},
+    {"application": "Nginx", "size_loc": 101_852,
+     "threading": "multi-process"},
+    {"application": "Redis", "size_loc": 34_625,
+     "threading": "multi-threaded"},
+)
+
+__all__ = [
+    "Connection", "EpollServer", "ServerStats", "http_response",
+    "parse_http_request", "parse_line_request",
+    "beanstalkd_image", "make_beanstalkd",
+    "APACHE_HTTPD", "HTTPD_SITES", "LIGHTTPD", "LIGHTTPD_REVISIONS",
+    "THTTPD", "HttpProfile", "httpd_image", "lighttpd_revision",
+    "make_httpd",
+    "make_memcached", "memcached_image",
+    "make_nginx", "nginx_image",
+    "BUGGY_REVISION", "REVISIONS", "make_redis", "redis_image",
+    "ALL_SPEC", "CPU2000", "CPU2006", "SpecBenchmark", "make_spec",
+    "memory_pressure_factor", "spec_image",
+    "TABLE_1",
+]

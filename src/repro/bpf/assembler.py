@@ -1,0 +1,214 @@
+"""Assembler for the BPF dialect used in the paper's Listing 1.
+
+Supports the classic-BPF mnemonics plus the Varan ``event`` extension::
+
+    ld event[0]
+    jeq #108, getegid /* __NR_getegid */
+    jeq #2, open      /* __NR_open */
+    jmp bad
+    getegid:
+    ld [0]            /* offsetof(struct seccomp_data, nr) */
+    jeq #102, good    /* __NR_getuid */
+    open:
+    ld [0]
+    jeq #104, good    /* __NR_getgid */
+    bad: ret #0       /* SECCOMP_RET_KILL */
+    good: ret #0x7fff0000 /* SECCOMP_RET_ALLOW */
+
+Conditional jumps take ``jeq #k, jt`` (fall through on false) or
+``jeq #k, jt, jf``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.bpf.insn import (
+    BPF_A,
+    BPF_ABS,
+    BPF_ADD,
+    BPF_ALU,
+    BPF_AND,
+    BPF_DIV,
+    BPF_IMM,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JGT,
+    BPF_JMP,
+    BPF_JSET,
+    BPF_K,
+    BPF_LD,
+    BPF_LDX,
+    BPF_LEN,
+    BPF_LSH,
+    BPF_MEM,
+    BPF_MISC,
+    BPF_MUL,
+    BPF_NEG,
+    BPF_OR,
+    BPF_RET,
+    BPF_RSH,
+    BPF_ST,
+    BPF_STX,
+    BPF_SUB,
+    BPF_TAX,
+    BPF_TXA,
+    BPF_W,
+    BPF_X,
+    EVENT_EXTENSION_BASE,
+    BpfInsn,
+)
+from repro.bpf.interpreter import BpfProgram
+from repro.errors import BpfVerifierError
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//.*$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+
+_ALU_OPS = {"add": BPF_ADD, "sub": BPF_SUB, "mul": BPF_MUL, "div": BPF_DIV,
+            "or": BPF_OR, "and": BPF_AND, "lsh": BPF_LSH, "rsh": BPF_RSH}
+_JMP_OPS = {"jeq": BPF_JEQ, "jgt": BPF_JGT, "jge": BPF_JGE,
+            "jset": BPF_JSET}
+
+
+def _parse_imm(text: str) -> int:
+    text = text.strip()
+    if not text.startswith("#"):
+        raise BpfVerifierError(f"expected #immediate, got {text!r}")
+    return int(text[1:], 0)
+
+
+class _Pending:
+    """An instruction whose jump offsets still reference labels."""
+
+    def __init__(self, kind: str, **fields) -> None:
+        self.kind = kind
+        self.fields = fields
+
+
+def assemble_bpf(source: str, name: str = "filter") -> BpfProgram:
+    """Assemble BPF source into a verified :class:`BpfProgram`."""
+    pending: List[_Pending] = []
+    labels: Dict[str, int] = {}
+
+    for lineno, raw in enumerate(source.splitlines(), 1):
+        line = _COMMENT_RE.sub("", raw).strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match and match.group(1) not in ("ld", "ldx", "st", "stx",
+                                                "ret", "jmp", "tax", "txa"):
+                label = match.group(1)
+                if label in labels:
+                    raise BpfVerifierError(
+                        f"line {lineno}: duplicate label {label!r}")
+                labels[label] = len(pending)
+                line = match.group(2).strip()
+                continue
+            pending.append(_parse_insn(line, lineno))
+            line = ""
+
+    insns: List[BpfInsn] = []
+    for pc, item in enumerate(pending):
+        insns.append(_resolve(item, pc, labels))
+    return BpfProgram(insns, name=name)
+
+
+def _parse_insn(line: str, lineno: int) -> _Pending:
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.lower()
+    rest = rest.strip()
+
+    if mnemonic in ("ld", "ldx"):
+        klass = BPF_LD if mnemonic == "ld" else BPF_LDX
+        if rest.startswith("event["):
+            inner = int(rest[len("event["):-1], 0)
+            return _Pending("stmt", code=klass | BPF_W | BPF_ABS,
+                            k=EVENT_EXTENSION_BASE | inner)
+        if rest.startswith("M[") or rest.startswith("m["):
+            return _Pending("stmt", code=klass | BPF_W | BPF_MEM,
+                            k=int(rest[2:-1], 0))
+        if rest.startswith("["):
+            return _Pending("stmt", code=klass | BPF_W | BPF_ABS,
+                            k=int(rest[1:-1], 0))
+        if rest == "len":
+            return _Pending("stmt", code=klass | BPF_W | BPF_LEN, k=0)
+        return _Pending("stmt", code=klass | BPF_W | BPF_IMM,
+                        k=_parse_imm(rest))
+    if mnemonic in ("st", "stx"):
+        klass = BPF_ST if mnemonic == "st" else BPF_STX
+        if not (rest.startswith("M[") or rest.startswith("m[")):
+            raise BpfVerifierError(f"line {lineno}: {mnemonic} needs M[k]")
+        return _Pending("stmt", code=klass, k=int(rest[2:-1], 0))
+    if mnemonic in _ALU_OPS:
+        if rest == "x":
+            return _Pending("stmt", code=BPF_ALU | _ALU_OPS[mnemonic] | BPF_X,
+                            k=0)
+        return _Pending("stmt", code=BPF_ALU | _ALU_OPS[mnemonic] | BPF_K,
+                        k=_parse_imm(rest))
+    if mnemonic == "neg":
+        return _Pending("stmt", code=BPF_ALU | BPF_NEG, k=0)
+    if mnemonic in ("tax", "txa"):
+        op = BPF_TAX if mnemonic == "tax" else BPF_TXA
+        return _Pending("stmt", code=BPF_MISC | op, k=0)
+    if mnemonic in ("jmp", "ja"):
+        return _Pending("ja", target=rest, lineno=lineno)
+    if mnemonic in _JMP_OPS:
+        parts = [p.strip() for p in rest.split(",")]
+        if len(parts) < 2:
+            raise BpfVerifierError(
+                f"line {lineno}: {mnemonic} needs #k, jt[, jf]")
+        operand = parts[0]
+        src = BPF_X if operand == "x" else BPF_K
+        k = 0 if operand == "x" else _parse_imm(operand)
+        jt = parts[1]
+        jf = parts[2] if len(parts) > 2 else None
+        return _Pending("jcond", code=BPF_JMP | _JMP_OPS[mnemonic] | src,
+                        k=k, jt=jt, jf=jf, lineno=lineno)
+    if mnemonic == "ret":
+        if rest.lower() == "a":
+            return _Pending("stmt", code=BPF_RET | BPF_A, k=0)
+        return _Pending("stmt", code=BPF_RET | BPF_K, k=_parse_imm(rest))
+    raise BpfVerifierError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+
+
+def _offset(label: Optional[str], pc: int, labels: Dict[str, int],
+            lineno: int) -> int:
+    if label is None:
+        return 0
+    if label.isdigit():
+        return int(label)
+    if label not in labels:
+        raise BpfVerifierError(f"line {lineno}: undefined label {label!r}")
+    offset = labels[label] - (pc + 1)
+    if offset < 0:
+        raise BpfVerifierError(
+            f"line {lineno}: backward jump to {label!r} (not allowed)")
+    if offset > 255:
+        raise BpfVerifierError(f"line {lineno}: jump to {label!r} too far")
+    return offset
+
+
+def _resolve(item: _Pending, pc: int, labels: Dict[str, int]) -> BpfInsn:
+    if item.kind == "stmt":
+        return BpfInsn(code=item.fields["code"], k=item.fields["k"])
+    if item.kind == "ja":
+        lineno = item.fields["lineno"]
+        target = item.fields["target"]
+        if target not in labels:
+            raise BpfVerifierError(
+                f"line {lineno}: undefined label {target!r}")
+        offset = labels[target] - (pc + 1)
+        if offset < 0:
+            raise BpfVerifierError(
+                f"line {lineno}: backward jump to {target!r}")
+        return BpfInsn(code=BPF_JMP | BPF_JA, k=offset)
+    # jcond
+    fields = item.fields
+    lineno = fields["lineno"]
+    return BpfInsn(
+        code=fields["code"],
+        k=fields["k"],
+        jt=_offset(fields["jt"], pc, labels, lineno),
+        jf=_offset(fields["jf"], pc, labels, lineno),
+    )

@@ -1,0 +1,27 @@
+"""Client-side load generators (§4.2, §4.3, §5)."""
+
+from repro.clients.base import ClientReport, connect_with_retry, recv_until
+from repro.clients.tools import (
+    REDIS_COMMANDS,
+    make_apachebench,
+    make_beanstalkd_benchmark,
+    make_http_load,
+    make_memslap,
+    make_redis_benchmark,
+    make_redis_command_probe,
+    make_wrk,
+)
+
+__all__ = [
+    "ClientReport",
+    "connect_with_retry",
+    "recv_until",
+    "REDIS_COMMANDS",
+    "make_apachebench",
+    "make_beanstalkd_benchmark",
+    "make_http_load",
+    "make_memslap",
+    "make_redis_benchmark",
+    "make_redis_command_probe",
+    "make_wrk",
+]

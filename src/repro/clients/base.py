@@ -1,0 +1,93 @@
+"""Shared machinery for the client-side load generators.
+
+All measurements are client-side, like the paper's: the client machine
+sits in the same rack as the server, the worst case for monitor
+overhead since network latency hides nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.costmodel import SEC_PS, US_PS
+from repro.kernel.uapi import ECONNREFUSED, SysError
+
+
+@dataclass
+class ClientReport:
+    """What a load generator measured."""
+
+    name: str
+    requests: int = 0
+    errors: int = 0
+    started_ps: Optional[int] = None
+    finished_ps: Optional[int] = None
+    latencies_ps: List[int] = field(default_factory=list)
+    #: Per-command latency samples (redis-benchmark style).
+    per_command: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def duration_ps(self) -> int:
+        if self.started_ps is None or self.finished_ps is None:
+            return 0
+        return max(1, self.finished_ps - self.started_ps)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests * SEC_PS / self.duration_ps
+
+    def latency_avg_us(self) -> float:
+        if not self.latencies_ps:
+            return 0.0
+        return sum(self.latencies_ps) / len(self.latencies_ps) / US_PS
+
+    def latency_percentile_us(self, pct: float) -> float:
+        if not self.latencies_ps:
+            return 0.0
+        ordered = sorted(self.latencies_ps)
+        index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
+        return ordered[index] / US_PS
+
+    def command_avg_us(self, command: str) -> float:
+        samples = self.per_command.get(command, [])
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples) / US_PS
+
+    def observe(self, latency_ps: int, command: Optional[str] = None,
+                now: Optional[int] = None) -> None:
+        self.requests += 1
+        self.latencies_ps.append(latency_ps)
+        if command is not None:
+            self.per_command.setdefault(command, []).append(latency_ps)
+        if now is not None:
+            if self.started_ps is None:
+                self.started_ps = now - latency_ps
+            self.finished_ps = now
+
+
+def connect_with_retry(ctx, addr, attempts: int = 200,
+                       backoff_ps: int = 200 * US_PS):
+    """Generator: connect, retrying while the server is still booting."""
+    for _ in range(attempts):
+        fd = yield from ctx.socket()
+        result = yield from ctx.syscall("connect", fd, addr)
+        if result.retval == 0:
+            return fd
+        yield from ctx.close(fd)
+        if result.retval != -ECONNREFUSED:
+            raise SysError(-result.retval, "connect")
+        yield from ctx.nanosleep(backoff_ps)
+    raise SysError(ECONNREFUSED, "connect")
+
+
+def recv_until(ctx, fd, terminator: bytes, limit: int = 1 << 16):
+    """Generator: read until ``terminator`` appears (or EOF)."""
+    buffer = b""
+    while terminator not in buffer and len(buffer) < limit:
+        data = yield from ctx.recv(fd, 4096)
+        if not data:
+            break
+        buffer += data
+    return buffer

@@ -1,0 +1,321 @@
+"""The coordinator and zygote: session setup (Figure 2), the control
+channel, transparent failover (§5.1) and divergence handling.
+
+The coordinator is the only centralized component and it is *not* on the
+syscall hot path: it prepares address spaces, establishes the ring and
+data channels, and thereafter only reacts to crash/divergence
+notifications arriving over its control socket.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.bpf.rules import RewriteRules
+from repro.core.datachannel import DataChannel
+from repro.core.events import EV_EXIT
+from repro.core.monitor import PROMOTED, ReplicaMonitor, RingTuple
+from repro.core.ringbuffer import RingBuffer
+from repro.core.shm import SharedMemoryPool
+from repro.core.tables import install_tables
+from repro.costmodel import cycles
+from repro.errors import FailoverError, NvxError
+from repro.sim.core import Compute
+from repro.sim.sync import WaitQueue
+
+
+@dataclass
+class VersionSpec:
+    """One program version to run inside the NVX session."""
+
+    name: str
+    main: Callable  # generator function taking a ProcessContext
+    #: Optional VX86 image; when present it is really loaded and
+    #: rewritten, and per-site patch kinds drive dispatch costs.
+    image: Optional[object] = None
+
+
+class Variant:
+    """Runtime state of one version."""
+
+    def __init__(self, vid: int, spec: VersionSpec, machine) -> None:
+        self.vid = vid
+        self.spec = spec
+        self.machine = machine
+        self.is_leader = False
+        self.alive = True
+        self.tasks: List = []
+        self.patch_kinds: Dict[str, str] = {}
+        self.rewrite_stats = None
+
+    @property
+    def name(self) -> str:
+        return f"v{self.vid}:{self.spec.name}"
+
+    @property
+    def root_task(self):
+        return self.tasks[0] if self.tasks else None
+
+
+@dataclass
+class SessionStats:
+    divergences: int = 0
+    divergences_allowed: int = 0
+    divergences_skipped: int = 0
+    events_skipped: int = 0
+    promotions: int = 0
+    crashes: List = field(default_factory=list)
+    fatal_divergences: List = field(default_factory=list)
+    setup_ps: int = 0
+
+
+class NvxSession:
+    """One Varan NVX group: N versions behaving as a single process."""
+
+    def __init__(self, world, specs: List[VersionSpec], machine=None,
+                 rules: Optional[RewriteRules] = None,
+                 ring_capacity: int = 256, leader_index: int = 0,
+                 daemon: bool = False,
+                 sample_distances: bool = False) -> None:
+        if not specs:
+            raise NvxError("session needs at least one version")
+        self.world = world
+        self.costs = world.costs
+        self.machine = machine or world.server
+        self.rules = rules or RewriteRules()
+        self.ring_capacity = ring_capacity
+        self.daemon = daemon
+        self.sample_distances = sample_distances
+        self.pool = SharedMemoryPool(world.sim, world.costs)
+        self.stats = SessionStats()
+        self.variants = [Variant(i, spec, self.machine)
+                         for i, spec in enumerate(specs)]
+        self.variants[leader_index].is_leader = True
+        self.tuples: List[RingTuple] = []
+        self._next_tuple_id = 0
+        self.control = WaitQueue(world.sim)
+        self._pending: Deque = deque()
+        self.ready = False
+        self.coordinator = None
+        #: Callables invoked with each newly created RingTuple — used by
+        #: auxiliary clients such as the record-phase follower (§5.4).
+        self.tuple_hooks: List[Callable] = []
+        #: Replay-phase sessions synthesise descriptors locally instead
+        #: of collecting them from a data channel.
+        self.replay_mode = False
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def leader(self) -> Optional[Variant]:
+        for variant in self.variants:
+            if variant.is_leader and variant.alive:
+                return variant
+        return None
+
+    @property
+    def followers(self) -> List[Variant]:
+        return [v for v in self.variants if v.alive and not v.is_leader]
+
+    @property
+    def root_tuple(self) -> RingTuple:
+        return self.tuples[0]
+
+    def start(self) -> "NvxSession":
+        """Launch the coordinator; versions start once setup completes."""
+        self.coordinator = self.machine.spawn(
+            self._coordinator_main(), name="varan.coordinator", daemon=True)
+        return self
+
+    # -- coordinator ------------------------------------------------------------
+
+    def _coordinator_main(self):
+        start_ps = self.world.sim.now
+        yield from self._perform_setup()
+        self.stats.setup_ps = self.world.sim.now - start_ps
+        self.ready = True
+        while True:
+            while not self._pending:
+                yield from self.control.wait()
+            kind, variant, task, info = self._pending.popleft()
+            yield Compute(cycles(
+                self.costs.failover.detect_signal
+                + self.costs.failover.coordinator_handling))
+            if not variant.alive:
+                continue
+            if kind == "crash" and variant.is_leader:
+                self._promote_new_leader(variant)
+            else:
+                self._drop_follower(variant)
+
+    def _perform_setup(self):
+        """Steps A-D of Figure 2, with their system-call costs."""
+        syscalls = self.costs.syscalls
+        setup_cycles = syscalls.native("mmap")  # shm segment (step A)
+        setup_cycles += syscalls.native("fork")  # zygote (step B)
+        for _ in self.variants:  # steps C/D per version
+            setup_cycles += (syscalls.native("socketpair")
+                             + syscalls.native("fork")
+                             + 2 * syscalls.native("sendmsg")
+                             + syscalls.native("mmap"))
+        yield Compute(cycles(setup_cycles))
+
+        # Load + selectively rewrite each version's image (§3.2).
+        for variant in self.variants:
+            if variant.spec.image is not None:
+                yield from self._load_and_rewrite(variant)
+
+        root = self.new_tuple()
+        for variant in self.variants:
+            task = self.world.kernel.spawn_task(
+                self.machine, self._wrap_main(variant),
+                name=variant.name, daemon=self.daemon)
+            variant.tasks.append(task)
+            self._bind(variant, task, root)
+
+    def _load_and_rewrite(self, variant: Variant):
+        from repro.runtime.loader import load_image
+
+        loaded = load_image(variant.spec.image, seed=variant.vid)
+        variant.patch_kinds = loaded.patch_kinds
+        variant.rewrite_stats = loaded.rewriter.patchset.stats
+        # Charge the scan: ~2 cycles/byte plus per-site patch work.
+        stats = loaded.rewriter.patchset.stats
+        yield Compute(cycles(2 * stats.bytes_scanned
+                             + 500 * stats.sites_found
+                             + 700 * stats.vdso_patched))
+
+    def _wrap_main(self, variant: Variant):
+        """Wrap the app main so normal return streams an EXIT event."""
+        spec_main = variant.spec.main
+
+        def wrapped(ctx):
+            result = yield from spec_main(ctx)
+            monitor = ctx.task.monitor_state
+            if monitor is not None and not ctx.task.exited:
+                if variant.is_leader:
+                    yield from monitor.publish_control(EV_EXIT, retval=0)
+                else:
+                    outcome = yield from monitor.await_event(True)
+                    if outcome is not PROMOTED and outcome.etype == EV_EXIT:
+                        yield from monitor.consume(outcome)
+            return result
+
+        return wrapped
+
+    def _bind(self, variant: Variant, task, tuple_: RingTuple) -> None:
+        """Attach a task to a tuple: monitor, tables, patch map, hooks."""
+        monitor = ReplicaMonitor(self, variant, task, tuple_)
+        task.gate.patch_kinds = variant.patch_kinds
+        install_tables(monitor)
+        task.segv_hook = self._crash_hook(variant)
+
+    # -- tuples ---------------------------------------------------------------------
+
+    def new_tuple(self) -> RingTuple:
+        """Allocate the ring + data channels for one process tuple.
+
+        Follower cursors are pre-registered so no event published before
+        the followers attach can be missed.
+        """
+        ring = RingBuffer(self.world.sim, self.costs,
+                          capacity=self.ring_capacity,
+                          name=f"ring{self._next_tuple_id}")
+        ring.sample_distances = self.sample_distances
+        channels = {}
+        for variant in self.followers:
+            ring.add_consumer(variant.vid)
+            channels[variant.vid] = DataChannel(self.world.sim, self.costs)
+        tuple_ = RingTuple(self._next_tuple_id, ring, channels)
+        self._next_tuple_id += 1
+        self.tuples.append(tuple_)
+        for hook in self.tuple_hooks:
+            hook(tuple_)
+        return tuple_
+
+    def tuple_by_id(self, tuple_id: int) -> RingTuple:
+        for tuple_ in self.tuples:
+            if tuple_.id == tuple_id:
+                return tuple_
+        raise NvxError(f"unknown tuple {tuple_id}")
+
+    def attach_leader_child(self, variant: Variant, child_task,
+                            tuple_: RingTuple) -> None:
+        variant.tasks.append(child_task)
+        self._bind(variant, child_task, tuple_)
+
+    def attach_follower_child(self, variant: Variant, child_task,
+                              tuple_id: int) -> None:
+        variant.tasks.append(child_task)
+        self._bind(variant, child_task, self.tuple_by_id(tuple_id))
+
+    # -- failover (§5.1) ---------------------------------------------------------------
+
+    def _crash_hook(self, variant: Variant):
+        def hook(task, fault):
+            self.stats.crashes.append(
+                (variant.name, str(fault), self.world.sim.now))
+            self._pending.append(("crash", variant, task, fault))
+            self.control.notify()
+
+        return hook
+
+    def report_divergence(self, monitor: ReplicaMonitor, call,
+                          event) -> None:
+        """A follower diverged fatally: schedule its removal."""
+        self.stats.fatal_divergences.append(
+            (monitor.variant.name, call.name, event.name))
+        self._pending.append(
+            ("divergence", monitor.variant, monitor.task, call.name))
+        self.control.notify()
+
+    def _drop_follower(self, variant: Variant) -> None:
+        """Unsubscribe a crashed/diverged follower; others are unaffected."""
+        variant.alive = False
+        for tuple_ in self.tuples:
+            tuple_.ring.remove_consumer(variant.vid)
+            channel = tuple_.channels.pop(variant.vid, None)
+            if channel is not None:
+                channel.close()
+            tuple_.replicas.pop(variant.vid, None)
+        for task in variant.tasks:
+            if not task.exited:
+                task.kill_now()
+
+    def _promote_new_leader(self, old_leader: Variant) -> None:
+        """Elect the follower with the smallest ID (§5.1)."""
+        old_leader.alive = False
+        old_leader.is_leader = False
+        for task in old_leader.tasks:
+            if not task.exited:
+                task.kill_now()
+        candidates = self.followers
+        if not candidates:
+            raise FailoverError("leader crashed with no followers left")
+        new_leader = min(candidates, key=lambda v: v.vid)
+        new_leader.is_leader = True
+        self.stats.promotions += 1
+        for tuple_ in self.tuples:
+            channel = tuple_.channels.pop(new_leader.vid, None)
+            if channel is not None:
+                channel.close()
+            # Wake every parked replica so it notices the new regime.
+            tuple_.ring.wake_all()
+
+    def await_promotion_complete(self, task):
+        """Generator: lazily finish promoting *this* task to leader.
+
+        Called from the follower dispatch path once its ring is drained;
+        switches the system call table and restarts the in-flight call
+        (-ERESTARTSYS).  Idempotent per task.
+        """
+        monitor = task.monitor_state
+        if getattr(task.gate, "_varan_role", None) == "leader":
+            return
+        yield Compute(cycles(self.costs.failover.promote_per_tuple
+                             + self.costs.failover.restart_syscall))
+        monitor.ring.remove_consumer(monitor.vid)
+        install_tables(monitor)
+        task.gate._varan_role = "leader"

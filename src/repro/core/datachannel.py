@@ -1,0 +1,39 @@
+"""Per-follower data channels for descriptor transfer (§3.3.2).
+
+A UNIX-domain socket pair connects the leader with each follower.
+Whenever the leader obtains a new file descriptor it duplicates the
+description into every follower (``sendmsg`` with SCM_RIGHTS) — the
+mechanism that makes transparent leader replacement possible.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import CostModel, cycles
+from repro.kernel.net import PipeEnd
+from repro.sim.core import Compute, Simulator
+
+
+class DataChannel:
+    """One leader↔follower descriptor-passing channel."""
+
+    def __init__(self, sim: Simulator, costs: CostModel) -> None:
+        self.sim = sim
+        self.costs = costs
+        self.leader_end, self.follower_end = PipeEnd.make_socketpair(sim)
+        self.fds_sent = 0
+
+    def send_fd(self, description):
+        """Generator (leader side): duplicate one description across."""
+        yield Compute(cycles(self.costs.stream.fd_send))
+        self.leader_end.push_fd(description)
+        self.fds_sent += 1
+
+    def recv_fd(self):
+        """Generator (follower side): collect one duplicated description."""
+        yield Compute(cycles(self.costs.stream.fd_recv))
+        description = yield from self.follower_end.pop_fd()
+        return description
+
+    def close(self) -> None:
+        self.leader_end.decref()
+        self.follower_end.decref()

@@ -1,0 +1,81 @@
+"""Events streamed from the leader to its followers (§3.3).
+
+Each event is conceptually one 64-byte cache line: type, syscall number,
+issuing thread, Lamport timestamp, up to six by-value arguments and the
+return value.  Larger payloads (read buffers, path strings) do not fit:
+they travel through the shared-memory pool allocator and the event
+carries only the *shared pointer* (§3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import NvxError
+from repro.kernel.uapi import SYSCALL_NUMBERS
+
+EV_SYSCALL = "syscall"
+EV_SIGNAL = "signal"
+EV_FORK = "fork"
+EV_CLONE = "clone"
+EV_EXIT = "exit"
+
+#: Conceptual event size (bytes): one x86 cache line.
+EVENT_SIZE = 64
+
+#: Maximum by-value arguments (x86-64 syscall ABI).
+MAX_ARGS = 6
+
+
+@dataclass
+class Event:
+    """One entry in the shared ring buffer."""
+
+    etype: str
+    nr: int
+    name: str
+    tindex: int  # issuing thread's creation index within its task
+    clock: int  # Lamport timestamp (§3.3.3)
+    retval: int = 0
+    args: Tuple = ()
+    aux: Tuple = ()
+    #: Shared-memory chunk holding a by-reference payload, or None.
+    payload: Optional["object"] = None
+    #: Number of descriptors transferred over the data channel for this
+    #: event (§3.3.2). Followers must collect exactly this many.
+    fd_count: int = 0
+    #: The leader-side fd numbers of the transferred descriptors, so
+    #: followers install the duplicates at matching numbers.
+    fd_numbers: Tuple[int, ...] = ()
+    seq: int = -1  # assigned by the ring at publish time
+
+    def __post_init__(self) -> None:
+        if len(self.args) > MAX_ARGS:
+            raise NvxError(
+                f"event for {self.name}: {len(self.args)} by-value args "
+                f"exceed the {MAX_ARGS}-slot event layout")
+
+    @property
+    def payload_len(self) -> int:
+        return len(self.payload.data) if self.payload is not None else 0
+
+    def words(self) -> Tuple[int, ...]:
+        """The 32-bit view exposed to BPF rewrite rules (``event[k]``).
+
+        Word 0 is the syscall number — the view Listing 1 relies on —
+        followed by the low words of the by-value arguments.
+        """
+        words = [self.nr & 0xFFFF_FFFF]
+        for arg in self.args:
+            if isinstance(arg, int):
+                words.append(arg & 0xFFFF_FFFF)
+        return tuple(words)
+
+
+def syscall_event(name: str, tindex: int, clock: int, retval: int,
+                  args: Tuple = (), aux: Tuple = (),
+                  payload=None, fd_count: int = 0) -> Event:
+    return Event(EV_SYSCALL, SYSCALL_NUMBERS.get(name, -1), name, tindex,
+                 clock, retval=retval, args=args, aux=aux, payload=payload,
+                 fd_count=fd_count)

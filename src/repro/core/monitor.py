@@ -1,0 +1,248 @@
+"""Per-replica monitor runtime — the injected ``varan`` library of Fig. 2.
+
+Each task of each version gets a :class:`ReplicaMonitor` binding it to
+its process-tuple's ring buffer and data channel.  Leader-side methods
+publish events; follower-side methods await, match and replay them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.costmodel import cycles
+from repro.core.datachannel import DataChannel
+from repro.core.events import (
+    EV_CLONE,
+    EV_EXIT,
+    EV_FORK,
+    EV_SIGNAL,
+    EV_SYSCALL,
+    Event,
+    syscall_event,
+)
+from repro.core.ringbuffer import RingBuffer
+from repro.errors import DivergenceError, NvxError
+from repro.kernel.uapi import SYSCALL_NUMBERS, Syscall, SysResult
+from repro.sim.core import Compute
+
+#: Sentinel returned by await_event when this variant was promoted to
+#: leader while waiting (§5.1): the caller must restart the system call
+#: through the leader path (-ERESTARTSYS).
+PROMOTED = object()
+
+#: Calls whose replay is expected to wait a long time for the leader
+#: (the leader itself blocks in them) — the follower takes the waitlock
+#: instead of busy-waiting (§3.3.1).
+BLOCKING_CALLS = frozenset({
+    "read", "recv", "recvfrom", "recvmsg", "accept", "accept4",
+    "epoll_wait", "poll", "select", "wait4", "connect", "nanosleep",
+    "clock_nanosleep",
+})
+
+
+class RingTuple:
+    """The ring buffer + channels of one process tuple (§3.3.3)."""
+
+    def __init__(self, tuple_id: int, ring: RingBuffer,
+                 channels: Dict[int, DataChannel]) -> None:
+        self.id = tuple_id
+        self.ring = ring
+        #: follower variant id → its data channel.
+        self.channels = channels
+        #: variant id → ReplicaMonitor attached to this tuple.
+        self.replicas: Dict[int, "ReplicaMonitor"] = {}
+
+
+class ReplicaMonitor:
+    """Monitor state for one task of one variant."""
+
+    def __init__(self, session, variant, task, tuple_: RingTuple) -> None:
+        self.session = session
+        self.variant = variant
+        self.task = task
+        self.tuple = tuple_
+        self.clock = 0  # Lamport clock, shared by the task's threads
+        #: Virtual time this replica spent *waiting* (for events, for
+        #: ring space) as opposed to processing — lets measurements
+        #: separate the monitor's processing cost from flow control.
+        self.wait_ps = 0
+        tuple_.replicas[variant.vid] = self
+        task.monitor_state = self
+
+    # -- common -------------------------------------------------------------
+
+    @property
+    def vid(self) -> int:
+        return self.variant.vid
+
+    @property
+    def ring(self) -> RingBuffer:
+        return self.tuple.ring
+
+    @property
+    def is_leader(self) -> bool:
+        return self.variant.is_leader
+
+    def tindex(self) -> int:
+        return self.task.thread_index()
+
+    # =========================================================================
+    # Leader side
+    # =========================================================================
+
+    def publish_result(self, call: Syscall, result: SysResult,
+                       transfer_fds: Tuple = ()):
+        """Generator: record one executed syscall into the ring.
+
+        ``transfer_fds`` lists (fd_number, description) pairs to
+        duplicate into every follower over the data channels.
+
+        With no subscribed consumers (a 0-follower session — the paper's
+        interception-only configuration — or every follower crashed)
+        recording is skipped entirely.
+        """
+        if not self.ring.cursors:
+            return None
+        payload = None
+        if result.data:
+            payload = yield from self.session.pool.alloc(
+                result.data, readers=len(self.ring.cursors))
+        stall_before = self.ring.stats.stall_ps
+        self.clock += 1
+        event = syscall_event(
+            call.name, self.tindex(), self.clock, result.retval,
+            args=self._by_value_args(call), aux=result.aux,
+            payload=payload, fd_count=len(transfer_fds))
+        event.fd_numbers = tuple(fd for fd, _ in transfer_fds)
+        yield from self.ring.publish(event)
+        self.wait_ps += self.ring.stats.stall_ps - stall_before
+        for fd_number, description in transfer_fds:
+            # Snapshot: a follower may crash (and its channel be removed
+            # by the coordinator) while we are blocked mid-transfer.
+            for follower_vid, channel in list(self.tuple.channels.items()):
+                if follower_vid == self.vid:
+                    continue
+                yield from channel.send_fd(description)
+        return event
+
+    def publish_control(self, etype: str, retval: int = 0,
+                        aux: Tuple = ()):
+        """Generator: publish a fork/clone/exit/signal event."""
+        if not self.ring.cursors:
+            return None
+        self.clock += 1
+        event = Event(etype, -1, etype, self.tindex(), self.clock,
+                      retval=retval, aux=aux)
+        yield from self.ring.publish(event)
+        return event
+
+    @staticmethod
+    def _by_value_args(call: Syscall) -> Tuple:
+        args = tuple(a for a in call.args if isinstance(a, int))[:6]
+        return args
+
+    # =========================================================================
+    # Follower side
+    # =========================================================================
+
+    def await_event(self, blocking_hint: bool):
+        """Generator: the next event owed to the calling thread.
+
+        Returns an :class:`Event`, or :data:`PROMOTED` if this variant
+        became the leader while waiting.
+        """
+        my_tindex = self.tindex()
+        sim = self.session.world.sim
+        published_ready = (lambda: self.ring.peek(self.vid) is not None
+                           or self.is_leader)
+        while True:
+            event = self.ring.peek(self.vid)
+            if event is None:
+                # Drained. If we were promoted meanwhile, the backlog of
+                # the crashed leader has now been fully replayed and the
+                # caller must restart through the leader path (§5.1).
+                if self.is_leader:
+                    return PROMOTED
+                wait_started = sim.now
+                yield from self.ring.wait_published(blocking_hint,
+                                                    published_ready)
+                self.wait_ps += sim.now - wait_started
+                continue
+            if event.tindex != my_tindex:
+                # Happens-before: another thread of this variant must
+                # consume first (Figure 3).
+                snapshot = self.ring.cursors.get(self.vid)
+                advanced_ready = (
+                    lambda snap=snapshot:
+                    self.ring.cursors.get(self.vid) != snap
+                    or self.is_leader)
+                wait_started = sim.now
+                yield from self.ring.wait_advanced(blocking_hint,
+                                                   advanced_ready)
+                self.wait_ps += sim.now - wait_started
+                continue
+            if event.clock != self.clock + 1:
+                raise NvxError(
+                    f"{self.variant.name}: clock skew (event {event.clock}, "
+                    f"local {self.clock})")
+            return event
+
+    def consume(self, event: Event):
+        """Generator: copy the event out and advance the gating sequence.
+
+        Returns the payload bytes (b'' if the event carried none).
+        """
+        yield Compute(cycles(self.session.costs.stream.ring_consume))
+        data = b""
+        if event.payload is not None:
+            data = yield from self.session.pool.consume(event.payload)
+        self.clock += 1
+        self.ring.advance(self.vid)
+        return data
+
+    def skip_event(self, event: Event):
+        """Generator: consume and discard (the SKIP rewrite action)."""
+        yield from self.consume(event)
+        self.session.stats.events_skipped += 1
+
+    def receive_fds(self, event: Event):
+        """Generator: collect the event's descriptors and install them at
+        the leader's fd numbers, so follower tables mirror the leader.
+
+        In replay mode (§5.4) there is no live leader to duplicate from:
+        placeholder descriptions are installed instead so later calls on
+        those numbers still resolve.
+        """
+        if self.session.replay_mode:
+            from repro.kernel.uapi import O_RDWR
+            from repro.kernel.vfs import DevNull, FileDesc
+
+            for fd_number in event.fd_numbers:
+                self.task.fdtable.install(
+                    FileDesc(DevNull("replay-placeholder"), O_RDWR),
+                    at=fd_number)
+            return event.fd_numbers
+        channel = self.tuple.channels.get(self.vid)
+        if channel is None:
+            raise NvxError(f"{self.variant.name}: no data channel")
+        installed = []
+        for fd_number in event.fd_numbers:
+            description = yield from channel.recv_fd()
+            if description is None:
+                raise NvxError(f"{self.variant.name}: channel EOF mid-transfer")
+            self.task.fdtable.install(description, at=fd_number)
+            installed.append(fd_number)
+        return tuple(installed)
+
+    def divergence(self, call: Syscall, event: Event):
+        """Consult the BPF rewrite rules about a mismatch (§3.4).
+
+        Returns ``(action, cycles_spent)``.
+        """
+        rules = self.session.rules
+        cost = rules.total_insns() * self.session.costs.stream.bpf_per_insn
+        self.session.stats.divergences += 1
+        action = rules.evaluate(
+            SYSCALL_NUMBERS.get(call.name, -1),
+            self._by_value_args(call), event.words())
+        return action, cost

@@ -1,0 +1,212 @@
+"""The shared ring buffer (§3.3.1).
+
+A Disruptor-style single ring with one producer cursor and one gating
+sequence per consuming variant.  The leader stalls when the slowest
+follower is a full ring behind (backpressure); followers busy-wait for
+new events, falling back to a futex-backed *waitlock* when the wait is
+long or the call is known to block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.costmodel import CostModel, US_PS, cycles
+from repro.errors import NvxError
+from repro.sim.core import TIMEOUT, Compute, Simulator
+from repro.sim.sync import WaitQueue
+
+from repro.core.events import Event
+
+#: Paper default: 256 events of 64 bytes.
+DEFAULT_CAPACITY = 256
+
+#: Busy-wait budget before degrading to the waitlock.
+SPIN_BUDGET_PS = 2 * US_PS
+
+
+class RingStats:
+    """Counters a ring keeps for the experiments."""
+
+    def __init__(self) -> None:
+        self.published = 0
+        self.consumed = 0
+        self.producer_stalls = 0
+        self.stall_ps = 0  # total producer backpressure time
+        self.waitlock_sleeps = 0
+        self.spin_waits = 0
+        #: Log-distance samples (head - cursor) at publish time, used by
+        #: the live-sanitization experiment (§5.3).
+        self.distance_samples: List[int] = []
+
+    def median_distance(self) -> int:
+        if not self.distance_samples:
+            return 0
+        ordered = sorted(self.distance_samples)
+        return ordered[len(ordered) // 2]
+
+
+class RingBuffer:
+    """One ring per process tuple (§3.3.3)."""
+
+    def __init__(self, sim: Simulator, costs: CostModel,
+                 capacity: int = DEFAULT_CAPACITY,
+                 name: str = "ring") -> None:
+        if capacity < 1:
+            raise NvxError("ring capacity must be at least 1")
+        self.sim = sim
+        self.costs = costs
+        self.capacity = capacity
+        self.name = name
+        self.slots: List[Optional[Event]] = [None] * capacity
+        self.head = 0  # next sequence to publish
+        self.cursors: Dict[int, int] = {}  # variant id → next seq to read
+        self.not_full = WaitQueue(sim)
+        self.published = WaitQueue(sim)
+        self.advanced = WaitQueue(sim)  # intra-variant thread gating
+        self.stats = RingStats()
+        self.sample_distances = False
+        #: Followers currently parked on the futex-backed waitlock (as
+        #: opposed to busy-waiting): only these cost the leader a wake.
+        self._sleepers = 0
+
+    # -- consumer management ----------------------------------------------
+
+    def add_consumer(self, vid: int) -> None:
+        self.cursors[vid] = self.head
+
+    def remove_consumer(self, vid: int) -> None:
+        """Unsubscribe a variant (crash path), releasing its share of any
+        pending payload chunks so the pool does not leak."""
+        cursor = self.cursors.pop(vid, None)
+        if cursor is None:
+            return
+        for seq in range(cursor, self.head):
+            event = self.slots[seq % self.capacity]
+            if event is None or event.payload is None:
+                continue
+            chunk = event.payload
+            chunk.remaining_readers -= 1
+            if chunk.remaining_readers <= 0:
+                chunk.data = b""
+                chunk.bucket.free.append(chunk)
+                chunk.bucket.live_chunks -= 1
+        self.not_full.notify_all()
+
+    def min_cursor(self) -> int:
+        if not self.cursors:
+            return self.head
+        return min(self.cursors.values())
+
+    def lag_of(self, vid: int) -> int:
+        return self.head - self.cursors.get(vid, self.head)
+
+    # -- producer side -------------------------------------------------------
+
+    def _full(self) -> bool:
+        return bool(self.cursors) and (
+            self.head - self.min_cursor() >= self.capacity)
+
+    def publish(self, event: Event):
+        """Generator: leader-side publish with backpressure."""
+        stall_started = self.sim.now
+        while self._full():
+            self.stats.producer_stalls += 1
+            yield Compute(cycles(self.costs.stream.ring_full_check))
+            # Re-check after charging: a consumer may have advanced while
+            # we were computing, and its notify would be lost if we
+            # blocked unconditionally (no yields between check and wait).
+            if not self._full():
+                break
+            yield from self.not_full.wait()
+        self.stats.stall_ps += self.sim.now - stall_started
+        event.seq = self.head
+        self.slots[self.head % self.capacity] = event
+        self.head += 1
+        self.stats.published += 1
+        if self.sample_distances and self.cursors:
+            self.stats.distance_samples.append(
+                self.head - self.min_cursor())
+        yield Compute(cycles(self.costs.stream.ring_publish))
+        if self._sleepers:
+            # Futex wake for waitlocked followers; busy-waiting followers
+            # see the cursor move for free (§3.3.1).
+            yield Compute(cycles(self.costs.stream.waitlock_wake))
+        self.published.notify_all()
+        self.advanced.notify_all()
+        return event.seq
+
+    # -- consumer side ---------------------------------------------------------
+
+    def peek(self, vid: int) -> Optional[Event]:
+        cursor = self.cursors.get(vid)
+        if cursor is None or cursor >= self.head:
+            return None
+        return self.slots[cursor % self.capacity]
+
+    def wait_published(self, blocking_hint: bool, ready) -> None:
+        """Generator: wait until ``ready()`` turns true (new event, or a
+        promotion this consumer must react to).
+
+        ``blocking_hint=True`` (the follower is replaying a call known to
+        block, e.g. epoll_wait) goes straight to the waitlock; otherwise
+        we busy-wait briefly — the common case where the follower is
+        just behind the leader — and degrade to the waitlock (§3.3.1).
+
+        Every cost charge is followed by a fresh ``ready()`` check so a
+        publish (or promotion wake) landing mid-charge cannot be lost:
+        there is never a yield between the final check and parking on
+        the wait queue.
+        """
+        if blocking_hint:
+            self.stats.waitlock_sleeps += 1
+            yield Compute(cycles(self.costs.stream.waitlock_sleep))
+            if ready():
+                return
+            self._sleepers += 1
+            try:
+                yield from self.published.wait()
+            finally:
+                self._sleepers -= 1
+            return
+        self.stats.spin_waits += 1
+        yield Compute(cycles(self.costs.stream.spin_check))
+        if ready():
+            return
+        value = yield from self.published.wait(spin=True,
+                                               timeout_ps=SPIN_BUDGET_PS)
+        if value is TIMEOUT:
+            self.stats.waitlock_sleeps += 1
+            yield Compute(cycles(self.costs.stream.waitlock_sleep))
+            if ready():
+                return
+            self._sleepers += 1
+            try:
+                yield from self.published.wait()
+            finally:
+                self._sleepers -= 1
+
+    def wait_advanced(self, blocking_hint: bool, ready) -> None:
+        """Generator: another thread of this variant must consume first."""
+        value = yield from self.advanced.wait(
+            spin=not blocking_hint,
+            timeout_ps=None if blocking_hint else SPIN_BUDGET_PS)
+        if value is TIMEOUT:
+            if ready():
+                return
+            yield from self.advanced.wait()
+
+    def advance(self, vid: int) -> None:
+        """Move a variant's gating sequence past the current event."""
+        if vid not in self.cursors:
+            raise NvxError(f"{self.name}: advance by unsubscribed {vid}")
+        self.cursors[vid] += 1
+        self.stats.consumed += 1
+        self.not_full.notify_all()
+        self.advanced.notify_all()
+
+    def wake_all(self) -> None:
+        """Failover path: force every waiter to re-examine the world."""
+        self.published.notify_all()
+        self.advanced.notify_all()
+        self.not_full.notify_all()

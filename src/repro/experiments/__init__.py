@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per table/figure of the paper."""
+
+from repro.experiments.harness import (
+    BenchmarkRun,
+    ExperimentResult,
+    MONITOR_NATIVE,
+    MONITOR_SCRIBE,
+    MONITOR_VARAN,
+    overhead,
+    run_server_benchmark,
+)
+
+__all__ = [
+    "BenchmarkRun",
+    "ExperimentResult",
+    "MONITOR_NATIVE",
+    "MONITOR_SCRIBE",
+    "MONITOR_VARAN",
+    "overhead",
+    "run_server_benchmark",
+]

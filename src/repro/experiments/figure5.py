@@ -1,0 +1,124 @@
+"""Figure 5 — C10k server overhead under Varan, 0-6 followers.
+
+Five servers, each driven by the same client tool as the paper:
+Beanstalkd (beanstalkd-benchmark), Lighttpd (wrk), Memcached (memslap),
+Nginx (wrk-like workload), Redis (redis-benchmark).  Overhead is
+client-side throughput normalised to native execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps import (
+    LIGHTTPD,
+    ServerStats,
+    beanstalkd_image,
+    httpd_image,
+    make_beanstalkd,
+    make_httpd,
+    make_memcached,
+    make_nginx,
+    make_redis,
+    memcached_image,
+    nginx_image,
+    redis_image,
+)
+from repro.clients import (
+    make_beanstalkd_benchmark,
+    make_memslap,
+    make_redis_benchmark,
+    make_wrk,
+)
+from repro.costmodel import SEC_PS
+from repro.experiments.harness import (
+    MONITOR_NATIVE,
+    MONITOR_VARAN,
+    ExperimentResult,
+    overhead,
+    run_server_benchmark,
+)
+
+#: Paper Figure 5 values: overhead (normalized runtime) per follower
+#: count 0..6.
+PAPER_FIGURE5 = {
+    "beanstalkd": (1.10, 1.52, 1.57, 1.64, 1.74, 1.73, 1.77),
+    "lighttpd": (1.00, 1.12, 1.14, 1.14, 1.14, 1.15, 1.15),
+    "memcached": (1.00, 1.14, 1.17, 1.18, 1.19, 1.30, 1.32),
+    "nginx": (1.04, 1.28, 1.37, 1.41, 1.55, 1.58, 1.64),
+    "redis": (1.00, 1.06, 1.11, 1.14, 1.24, 1.23, 1.25),
+}
+
+#: The C10k benchmark matrix: server factory, image, client factory.
+def _configs(scale: float):
+    return {
+        "beanstalkd": dict(
+            server=lambda: make_beanstalkd(stats=ServerStats(),
+                                           binlog_path="/var/binlog"),
+            image=beanstalkd_image,
+            client=lambda: make_beanstalkd_benchmark(scale=scale),
+        ),
+        "lighttpd": dict(
+            server=lambda: make_httpd(LIGHTTPD, stats=ServerStats()),
+            image=lambda: httpd_image(LIGHTTPD),
+            client=lambda: make_wrk(duration_ps=int(2 * SEC_PS * scale
+                                                    * 10)),
+        ),
+        "memcached": dict(
+            server=lambda: make_memcached(stats=ServerStats()),
+            image=memcached_image,
+            client=lambda: make_memslap(scale=scale),
+        ),
+        "nginx": dict(
+            # Four worker processes (the paper-era default), driven by
+            # the same 10-connection wrk workload as Lighttpd.  Note:
+            # saturating 4 workers would need >8 cores once 6 follower
+            # variants also run, so this configuration is latency-bound
+            # and underestimates the paper's overhead (see
+            # EXPERIMENTS.md).
+            server=lambda: make_nginx(port=8080, stats=ServerStats()),
+            image=nginx_image,
+            client=lambda: make_wrk(port=8080,
+                                    duration_ps=int(2 * SEC_PS * scale
+                                                    * 10)),
+        ),
+        "redis": dict(
+            server=lambda: make_redis(stats=ServerStats()),
+            image=redis_image,
+            client=lambda: make_redis_benchmark(scale=scale * 4),
+        ),
+    }
+
+
+def run_server(name: str, follower_counts=(0, 1, 2, 3, 4, 5, 6),
+               scale: float = 0.05) -> Dict[int, float]:
+    """Measure one server's overhead across follower counts."""
+    config = _configs(scale)[name]
+    native = run_server_benchmark(config["server"], config["client"],
+                                  monitor=MONITOR_NATIVE)
+    overheads = {}
+    for followers in follower_counts:
+        varan = run_server_benchmark(config["server"], config["client"],
+                                     monitor=MONITOR_VARAN,
+                                     followers=followers,
+                                     image_factory=config["image"])
+        overheads[followers] = overhead(native, varan)
+    return overheads
+
+
+def run(servers=("beanstalkd", "lighttpd", "memcached", "nginx", "redis"),
+        follower_counts=(0, 1, 2, 3, 4, 5, 6),
+        scale: float = 0.05) -> ExperimentResult:
+    result = ExperimentResult(
+        "figure5",
+        "C10k server overhead vs follower count (normalized runtime)",
+        paper_reference=PAPER_FIGURE5,
+        notes=f"workloads scaled by {scale}; clients on the same rack")
+    for name in servers:
+        overheads = run_server(name, follower_counts, scale)
+        row = {"server": name}
+        for followers in follower_counts:
+            row[f"f{followers}"] = overheads[followers]
+            row[f"paper_f{followers}"] = PAPER_FIGURE5[name][followers]
+        result.rows.append(row)
+    return result

@@ -1,0 +1,16 @@
+"""Figure 8 — SPEC CPU2006 overhead for 0-6 followers (see Figure 7)."""
+
+from __future__ import annotations
+
+from repro.apps.spec import CPU2006
+from repro.experiments import figure7
+from repro.experiments.harness import ExperimentResult
+
+
+def run(follower_counts=(0, 1, 2, 3, 4, 5, 6),
+        scale: float = 0.2) -> ExperimentResult:
+    result = figure7.run(follower_counts=follower_counts, scale=scale,
+                         benchmarks=CPU2006)
+    result.experiment_id = "figure8"
+    result.title = "SPEC CPU2006 overhead vs follower count"
+    return result

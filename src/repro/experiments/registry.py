@@ -1,0 +1,46 @@
+"""Registry mapping every table/figure to its reproduction driver."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    failover,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    multirevision,
+    recordreplay_exp,
+    sanitization,
+    table1,
+    table2,
+)
+
+#: experiment id → zero-argument callable returning an ExperimentResult.
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "table2": table2.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "failover-5.1": failover.run,
+    "multirevision-5.2": multirevision.run,
+    "sanitization-5.3": sanitization.run,
+    "recordreplay-5.4": recordreplay_exp.run,
+    "ablations": ablations.run,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}") from exc
+    return driver(**kwargs)

@@ -1,0 +1,40 @@
+"""VX86: the miniature x86-64-like ISA the binary rewriter operates on."""
+
+from repro.isa.assembler import assemble
+from repro.isa.cpu import Cpu
+from repro.isa.disassembler import (
+    Insn,
+    branch_targets,
+    decode_one,
+    disassemble,
+    linear_sweep,
+)
+from repro.isa.memory import AddressSpace, Segment
+from repro.isa.opcodes import (
+    BRANCH_MNEMONICS,
+    BY_MNEMONIC,
+    BY_OPCODE,
+    REG_INDEX,
+    REGISTERS,
+    SYSCALL_ARG_REGS,
+    OpSpec,
+)
+
+__all__ = [
+    "assemble",
+    "Cpu",
+    "Insn",
+    "branch_targets",
+    "decode_one",
+    "disassemble",
+    "linear_sweep",
+    "AddressSpace",
+    "Segment",
+    "BRANCH_MNEMONICS",
+    "BY_MNEMONIC",
+    "BY_OPCODE",
+    "REG_INDEX",
+    "REGISTERS",
+    "SYSCALL_ARG_REGS",
+    "OpSpec",
+]

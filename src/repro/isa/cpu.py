@@ -1,0 +1,222 @@
+"""VX86 interpreter with cycle accounting.
+
+The interpreter is generator-based so it can run inside a simulated
+process: it yields :class:`~repro.sim.core.Compute` batches for plain
+instructions and delegates to pluggable *handlers* for ``syscall``,
+``int0``, ``vsys`` and ``vmcall`` instructions.  Handlers are themselves
+generators (so they may block on kernel objects or Varan's ring buffer)
+and return the value to place in RAX.
+
+For handler-free unit tests, :meth:`Cpu.run_sync` drives execution
+without a simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.costmodel import CYCLE_PS
+from repro.errors import ExecutionFault
+from repro.isa.disassembler import decode_one
+from repro.isa.memory import AddressSpace
+from repro.isa.opcodes import REG_INDEX, REGISTERS
+from repro.sim.core import Block, Compute
+
+_U64 = 2 ** 64
+
+
+def _wrap(value: int) -> int:
+    return value & (_U64 - 1)
+
+
+class Cpu:
+    """One hardware thread executing VX86 code."""
+
+    def __init__(self, space: AddressSpace, entry: int, stack_top: int,
+                 name: str = "cpu") -> None:
+        self.space = space
+        self.regs = [0] * len(REGISTERS)
+        self.rip = entry
+        self.zf = False
+        self.name = name
+        self.cycles = 0  # total retired instruction cycles
+        self.halted = False
+        self.regs[REG_INDEX["rsp"]] = stack_top
+        # Handler hooks — generator functions taking (cpu,) or (cpu, idx).
+        self.syscall_handler: Optional[Callable] = None
+        self.int0_handler: Optional[Callable] = None
+        self.vsys_handler: Optional[Callable] = None
+        self.vmcall_handler: Optional[Callable] = None
+        #: Scratch slot handlers can use to pass per-site context.
+        self.handler_context = None
+
+    # -- register helpers ------------------------------------------------
+
+    def get(self, reg: str) -> int:
+        return self.regs[REG_INDEX[reg]]
+
+    def set(self, reg: str, value: int) -> None:
+        self.regs[REG_INDEX[reg]] = _wrap(value)
+
+    def get_signed(self, reg: str) -> int:
+        value = self.get(reg)
+        return value - _U64 if value >= _U64 // 2 else value
+
+    def push(self, value: int) -> None:
+        rsp = self.get("rsp") - 8
+        self.set("rsp", rsp)
+        self.space.write_u64(rsp, value)
+
+    def pop(self) -> int:
+        rsp = self.get("rsp")
+        value = self.space.read_u64(rsp)
+        self.set("rsp", rsp + 8)
+        return value
+
+    def snapshot_regs(self) -> list:
+        return list(self.regs)
+
+    def restore_regs(self, saved: list) -> None:
+        self.regs = list(saved)
+
+    # -- execution ---------------------------------------------------------
+
+    def step_decode(self):
+        segment = self.space.find(self.rip)
+        if "x" not in segment.perms:
+            raise ExecutionFault(
+                f"{self.name}: rip {self.rip:#x} not executable")
+        return decode_one(bytes(segment.data), self.rip - segment.start,
+                          segment.start)
+
+    def run(self, max_insns: int = 10_000_000,
+            batch_cycles: int = 20_000) -> Generator:
+        """Generator: execute until HLT, yielding sim commands."""
+        pending = 0
+        executed = 0
+        while not self.halted:
+            if executed >= max_insns:
+                raise ExecutionFault(f"{self.name}: exceeded {max_insns} insns")
+            insn = self.step_decode()
+            executed += 1
+            mnemonic = insn.mnemonic
+            if mnemonic == "hlt":
+                self.halted = True
+            elif mnemonic in ("syscall", "int0", "vsys", "vmcall"):
+                # Like hardware: rip points past the instruction while the
+                # handler runs (and is where sigreturn resumes for int0).
+                self.rip = insn.end
+                pending = yield from self._flush(pending)
+                if mnemonic == "syscall":
+                    yield from self._invoke(self.syscall_handler, "syscall")
+                elif mnemonic == "int0":
+                    yield from self._invoke(self.int0_handler, "int0")
+                elif mnemonic == "vsys":
+                    yield from self._invoke(self.vsys_handler, "vsys",
+                                            insn.operands[0])
+                else:
+                    yield from self._invoke(self.vmcall_handler, "vmcall")
+            else:
+                self._execute_plain(insn)
+            self.cycles += insn.spec.cycles
+            pending += insn.spec.cycles
+            if pending >= batch_cycles:
+                pending = yield from self._flush(pending)
+        yield from self._flush(pending)
+        return self.get("rax")
+
+    def run_sync(self, max_insns: int = 10_000_000) -> int:
+        """Drive :meth:`run` outside a simulator (tests, tools).
+
+        Compute/Sleep commands are swallowed; a Block (a handler trying
+        to wait) is an error in sync mode.
+        """
+        gen = self.run(max_insns=max_insns)
+        try:
+            cmd = next(gen)
+            while True:
+                if isinstance(cmd, Block):
+                    raise ExecutionFault("handler blocked in run_sync()")
+                cmd = gen.send(None)
+        except StopIteration as stop:
+            return stop.value
+
+    # -- internals ---------------------------------------------------------
+
+    def _flush(self, pending: int):
+        if pending:
+            yield Compute(pending * CYCLE_PS)
+        return 0
+
+    def _invoke(self, handler, kind: str, *args):
+        if handler is None:
+            raise ExecutionFault(f"{self.name}: no {kind} handler installed")
+        result = yield from handler(self, *args)
+        if result is not None:
+            self.set("rax", result)
+
+    def _execute_plain(self, insn) -> bool:
+        m = insn.mnemonic
+        ops = insn.operands
+        next_rip = insn.end
+        if m == "nop":
+            pass
+        elif m == "jmp":
+            next_rip = insn.end + ops[0]
+        elif m == "jz":
+            if self.zf:
+                next_rip = insn.end + ops[0]
+        elif m == "jnz":
+            if not self.zf:
+                next_rip = insn.end + ops[0]
+        elif m == "call":
+            self.push(insn.end)
+            next_rip = insn.end + ops[0]
+        elif m == "callr":
+            self.push(insn.end)
+            next_rip = self.regs[ops[0]]
+        elif m == "ret":
+            next_rip = self.pop()
+        elif m == "mov":
+            self.regs[ops[0]] = self.regs[ops[1]]
+        elif m == "movi":
+            self.regs[ops[0]] = _wrap(ops[1])
+        elif m == "add":
+            self.regs[ops[0]] = _wrap(self.regs[ops[0]] + self.regs[ops[1]])
+        elif m == "addi":
+            self.regs[ops[0]] = _wrap(self.regs[ops[0]] + ops[1])
+        elif m == "sub":
+            result = _wrap(self.regs[ops[0]] - self.regs[ops[1]])
+            self.regs[ops[0]] = result
+            self.zf = result == 0
+        elif m == "subi":
+            result = _wrap(self.regs[ops[0]] - ops[1])
+            self.regs[ops[0]] = result
+            self.zf = result == 0
+        elif m == "cmp":
+            self.zf = self.regs[ops[0]] == self.regs[ops[1]]
+        elif m == "cmpi":
+            self.zf = self.regs[ops[0]] == _wrap(ops[1])
+        elif m == "push":
+            self.push(self.regs[ops[0]])
+        elif m == "pop":
+            self.regs[ops[0]] = self.pop()
+        elif m == "load":
+            addr = self.regs[ops[1]] + ops[2]
+            self.regs[ops[0]] = self.space.read_u64(addr) % _U64
+        elif m == "store":
+            addr = self.regs[ops[1]] + ops[2]
+            self.space.write_u64(addr, self.regs[ops[0]])
+        elif m == "pusha":
+            rsp = REG_INDEX["rsp"]
+            for i, value in enumerate(self.regs):
+                if i != rsp:
+                    self.push(value)
+        elif m == "popa":
+            rsp = REG_INDEX["rsp"]
+            for i in reversed(range(len(self.regs))):
+                if i != rsp:
+                    self.regs[i] = self.pop()
+        else:  # pragma: no cover - closed opcode table
+            raise ExecutionFault(f"unhandled mnemonic {m}")
+        self.rip = next_rip

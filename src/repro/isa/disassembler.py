@@ -1,0 +1,143 @@
+"""Linear-sweep disassembler for VX86.
+
+This is the "simple x86 disassembler" of §3.2: the binary rewriter uses it
+to scan executable pages for system-call instructions and to reason about
+instruction boundaries and branch targets around each call site.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.errors import DisassemblyError
+from repro.isa.opcodes import BRANCH_MNEMONICS, BY_OPCODE, OpSpec, REGISTERS
+
+
+@dataclass(frozen=True)
+class Insn:
+    """One decoded instruction."""
+
+    addr: int
+    spec: OpSpec
+    raw: bytes
+    #: Decoded operands, shape-dependent (see opcodes.OPERAND SHAPES).
+    operands: Tuple
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def length(self) -> int:
+        return self.spec.length
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.spec.length
+
+    def branch_target(self) -> Optional[int]:
+        """Absolute target for rel32 control transfers, else None."""
+        if self.mnemonic in BRANCH_MNEMONICS:
+            return self.end + self.operands[0]
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        ops = ", ".join(self._format_operands())
+        return f"{self.addr:#08x}: {self.mnemonic} {ops}".rstrip()
+
+    def _format_operands(self) -> List[str]:  # pragma: no cover
+        shape = self.spec.operands
+        if shape in ("r",):
+            return [REGISTERS[self.operands[0]]]
+        if shape == "rr":
+            return [REGISTERS[self.operands[0]], REGISTERS[self.operands[1]]]
+        if shape in ("ri32", "ri64"):
+            return [REGISTERS[self.operands[0]], str(self.operands[1])]
+        if shape == "i32":
+            return [f"{self.branch_target():#x}"]
+        if shape == "u8":
+            return [str(self.operands[0])]
+        if shape == "rm":
+            return [REGISTERS[self.operands[0]],
+                    f"[{REGISTERS[self.operands[1]]}+{self.operands[2]}]"]
+        return []
+
+
+def decode_one(code: bytes, offset: int, base_addr: int = 0) -> Insn:
+    """Decode the instruction starting at ``code[offset]``."""
+    if offset >= len(code):
+        raise DisassemblyError(f"decode past end at offset {offset}")
+    opcode = code[offset]
+    spec = BY_OPCODE.get(opcode)
+    if spec is None:
+        raise DisassemblyError(
+            f"undecodable byte {opcode:#04x} at offset {offset}")
+    if offset + spec.length > len(code):
+        raise DisassemblyError(
+            f"truncated {spec.mnemonic} at offset {offset}")
+    raw = bytes(code[offset:offset + spec.length])
+    body = raw[1:]
+    shape = spec.operands
+    operands: Tuple
+    if shape == "":
+        operands = ()
+    elif shape == "u8":
+        operands = (body[0],)
+    elif shape == "r":
+        operands = (body[0] & 0x0F,)
+    elif shape == "rr":
+        operands = ((body[0] >> 4) & 0x0F, body[0] & 0x0F)
+    elif shape == "ri32":
+        operands = (body[0] & 0x0F, struct.unpack("<i", body[1:5])[0])
+    elif shape == "ri64":
+        operands = (body[0] & 0x0F, struct.unpack("<q", body[1:9])[0])
+    elif shape == "i32":
+        operands = (struct.unpack("<i", body[0:4])[0],)
+    elif shape == "rm":
+        operands = (body[0] & 0x0F, body[1] & 0x0F,
+                    struct.unpack("<i", body[2:6])[0])
+    else:  # pragma: no cover - spec table is closed
+        raise DisassemblyError(f"unhandled shape {shape!r}")
+    return Insn(addr=base_addr + offset, spec=spec, raw=raw, operands=operands)
+
+
+def linear_sweep(code: bytes, base_addr: int = 0) -> Iterator[Insn]:
+    """Decode instructions sequentially from the start of ``code``."""
+    offset = 0
+    while offset < len(code):
+        insn = decode_one(code, offset, base_addr)
+        yield insn
+        offset += insn.length
+
+
+def disassemble(code: bytes, base_addr: int = 0) -> List[Insn]:
+    """Decode the whole buffer (raises on undecodable bytes)."""
+    return list(linear_sweep(code, base_addr))
+
+
+def disassemble_prefix(code: bytes, offset: int, nbytes: int,
+                       base_addr: int = 0) -> List[Insn]:
+    """Decode whole instructions from ``offset`` covering ≥ ``nbytes``.
+
+    Used by the rewriter to find how many instructions a patch window
+    displaces.
+    """
+    insns: List[Insn] = []
+    covered = 0
+    while covered < nbytes:
+        insn = decode_one(code, offset + covered, base_addr)
+        insns.append(insn)
+        covered += insn.length
+    return insns
+
+
+def branch_targets(insns: List[Insn]) -> Set[int]:
+    """Absolute addresses any decoded instruction may jump to."""
+    targets = set()
+    for insn in insns:
+        tgt = insn.branch_target()
+        if tgt is not None:
+            targets.add(tgt)
+    return targets

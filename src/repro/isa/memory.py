@@ -1,0 +1,137 @@
+"""Segmented address space for VX86 images.
+
+Mirrors the parts of a Linux process image the paper cares about: text
+segments of the application and dynamic linker, the vDSO, Varan's
+injected monitor library, stack and heap — each with page permissions,
+so the rewriter can honour the W^X discipline of §3.2.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from repro.errors import ExecutionFault, RewriteError
+
+
+class Segment:
+    """A contiguous mapped region."""
+
+    def __init__(self, start: int, data: bytes, perms: str = "rw",
+                 name: str = "seg") -> None:
+        if not set(perms) <= set("rwx"):
+            raise ExecutionFault(f"bad perms {perms!r}")
+        self.start = start
+        self.data = bytearray(data)
+        self.perms = perms
+        self.name = name
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Segment {self.name} {self.start:#x}-{self.end:#x} "
+                f"{self.perms}>")
+
+
+class AddressSpace:
+    """Collection of non-overlapping segments with permission checks."""
+
+    def __init__(self) -> None:
+        self.segments: List[Segment] = []
+        #: Observers called as fn(segment) when a segment becomes
+        #: executable — the hook the rewriter uses to catch code loaded
+        #: or re-protected at runtime (§3.2 "whenever code is loaded").
+        self.exec_hooks: List = []
+
+    def map(self, segment: Segment) -> Segment:
+        for other in self.segments:
+            if segment.start < other.end and other.start < segment.end:
+                raise ExecutionFault(
+                    f"mapping {segment.name} overlaps {other.name}")
+        self.segments.append(segment)
+        if "x" in segment.perms:
+            self._fire_exec_hooks(segment)
+        return segment
+
+    def unmap(self, segment: Segment) -> None:
+        self.segments.remove(segment)
+
+    def find(self, addr: int) -> Segment:
+        for segment in self.segments:
+            if segment.contains(addr):
+                return segment
+        raise ExecutionFault(f"unmapped address {addr:#x}")
+
+    def find_by_name(self, name: str) -> Optional[Segment]:
+        for segment in self.segments:
+            if segment.name == name:
+                return segment
+        return None
+
+    def mprotect(self, segment: Segment, perms: str) -> None:
+        """Change permissions, enforcing W^X."""
+        if "w" in perms and "x" in perms:
+            raise RewriteError(
+                f"{segment.name}: W^X violation (requested {perms!r})")
+        newly_executable = "x" in perms and "x" not in segment.perms
+        segment.perms = perms
+        if newly_executable:
+            self._fire_exec_hooks(segment)
+
+    # -- typed accessors ------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        segment = self.find(addr)
+        if "r" not in segment.perms:
+            raise ExecutionFault(f"read from non-readable {segment.name}")
+        if addr + size > segment.end:
+            raise ExecutionFault(f"read crosses segment end at {addr:#x}")
+        off = addr - segment.start
+        return bytes(segment.data[off:off + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        segment = self.find(addr)
+        if "w" not in segment.perms:
+            raise ExecutionFault(f"write to non-writable {segment.name}")
+        if addr + len(data) > segment.end:
+            raise ExecutionFault(f"write crosses segment end at {addr:#x}")
+        off = addr - segment.start
+        segment.data[off:off + len(data)] = data
+
+    def read_u64(self, addr: int) -> int:
+        return struct.unpack("<q", self.read(addr, 8))[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<q", value & (2 ** 64 - 1)
+                                     if value >= 0 else value))
+
+    def fetch_code(self, addr: int, size: int) -> bytes:
+        """Instruction fetch: requires execute permission."""
+        segment = self.find(addr)
+        if "x" not in segment.perms:
+            raise ExecutionFault(
+                f"execute from non-executable {segment.name} at {addr:#x}")
+        off = addr - segment.start
+        return bytes(segment.data[off:off + size])
+
+    def patch_code(self, addr: int, data: bytes) -> None:
+        """Rewriter-only mutation of an executable segment.
+
+        Models the rewriter's temporary re-protection cycle: it never
+        leaves a segment writable+executable, so the patch is applied
+        through a privileged path rather than a plain store.
+        """
+        segment = self.find(addr)
+        if addr + len(data) > segment.end:
+            raise RewriteError(f"patch crosses segment end at {addr:#x}")
+        off = addr - segment.start
+        segment.data[off:off + len(data)] = data
+
+    def _fire_exec_hooks(self, segment: Segment) -> None:
+        for hook in list(self.exec_hooks):
+            hook(segment)

@@ -1,0 +1,101 @@
+"""A minimal but faithful epoll implementation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.kernel.uapi import (
+    EBADF,
+    EEXIST,
+    ENOENT,
+    EPOLL_CTL_ADD,
+    EPOLL_CTL_DEL,
+    EPOLL_CTL_MOD,
+    EPOLLERR,
+    EPOLLHUP,
+)
+from repro.kernel.vfs import FileDescription
+from repro.sim.core import TIMEOUT
+from repro.sim.sync import WaitQueue
+
+
+class Epoll(FileDescription):
+    """Interest list + ready notification, level-triggered."""
+
+    kind = "epoll"
+
+    def __init__(self, sim) -> None:
+        super().__init__()
+        self.sim = sim
+        #: fd number → (description, interest mask)
+        self.interest: Dict[int, Tuple[FileDescription, int]] = {}
+        self.waiters = WaitQueue(sim)
+
+    def ctl(self, op: int, fd: int, description: FileDescription,
+            events: int) -> int:
+        if op == EPOLL_CTL_ADD:
+            if fd in self.interest:
+                return -EEXIST
+            self.interest[fd] = (description, events)
+            if hasattr(description, "watchers"):
+                description.watchers.add(self)
+        elif op == EPOLL_CTL_MOD:
+            if fd not in self.interest:
+                return -ENOENT
+            self.interest[fd] = (description, events)
+        elif op == EPOLL_CTL_DEL:
+            if fd not in self.interest:
+                return -ENOENT
+            description, _ = self.interest.pop(fd)
+            if hasattr(description, "watchers"):
+                description.watchers.discard(self)
+        else:
+            return -EBADF
+        self.poke_all()
+        return 0
+
+    def ready_events(self) -> List[Tuple[int, int]]:
+        """Level-triggered scan of the interest list.
+
+        Descriptions whose last reference was closed are pruned, as Linux
+        drops an fd from every epoll set when its description dies.
+        """
+        out = []
+        dead = []
+        for fd, (description, mask) in self.interest.items():
+            if description.refcount <= 0:
+                dead.append(fd)
+                continue
+            hit = description.poll_mask() & (mask | EPOLLHUP | EPOLLERR)
+            if hit:
+                out.append((fd, hit))
+        for fd in dead:
+            description, _ = self.interest.pop(fd)
+            if hasattr(description, "watchers"):
+                description.watchers.discard(self)
+        return out
+
+    def wait(self, max_events: int, timeout_ps=None):
+        """Generator: block until ≥1 event (or timeout). Returns a list."""
+        while True:
+            ready = self.ready_events()
+            if ready:
+                return ready[:max_events]
+            value = yield from self.waiters.wait(timeout_ps=timeout_ps)
+            if value is TIMEOUT:
+                return []
+
+    def poke(self, _description) -> None:
+        """Called by a watched pollable when its state changes."""
+        if self.ready_events():
+            self.waiters.notify_all()
+
+    def poke_all(self) -> None:
+        if self.ready_events():
+            self.waiters.notify_all()
+
+    def on_last_close(self) -> None:
+        for description, _ in self.interest.values():
+            if hasattr(description, "watchers"):
+                description.watchers.discard(self)
+        self.interest.clear()

@@ -1,0 +1,62 @@
+"""Scribe-style in-kernel record-replay baseline (§5.4, [27]).
+
+Scribe records application execution from inside the kernel: there are
+no monitor context switches, but every syscall pays serialisation into
+the kernel log plus a per-byte copy, and the log is flushed to storage.
+Used as the comparison point for Varan's record-replay clients.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.costmodel import CostModel, cycles
+from repro.errors import NvxError
+from repro.kernel.uapi import Syscall
+from repro.sim.core import Compute
+
+
+class ScribeSession:
+    """Run versions with Scribe-style kernel recording enabled."""
+
+    def __init__(self, world, specs: List, machine=None,
+                 daemon: bool = False) -> None:
+        if not specs:
+            raise NvxError("scribe session needs at least one version")
+        self.world = world
+        self.costs: CostModel = world.costs
+        self.machine = machine or world.server
+        self.daemon = daemon
+        self.specs = specs
+        self.tasks: List = []
+        self.events_recorded = 0
+        self.bytes_recorded = 0
+        self.ready = False
+
+    def start(self) -> "ScribeSession":
+        for index, spec in enumerate(self.specs):
+            task = self.world.kernel.spawn_task(
+                self.machine, spec.main, name=f"scribe{index}:{spec.name}",
+                daemon=self.daemon)
+            self.tasks.append(task)
+            self._install(task)
+        self.ready = True
+        return self
+
+    def _install(self, task) -> None:
+        session = self
+
+        def recording_dispatch(inner_task, call: Syscall):
+            result = yield from inner_task.kernel.native(inner_task, call)
+            nbytes = max(call.nbytes, len(call.data), len(result.data))
+            session.events_recorded += 1
+            session.bytes_recorded += nbytes
+            yield Compute(cycles(
+                session.costs.scribe.per_event
+                + session.costs.scribe.per_byte * nbytes))
+            return result
+
+        task.gate.intercepting = True
+        task.gate.table = {}
+        task.gate.default_handler = recording_dispatch
+        task.gate.intercept_cost = lambda call: 0

@@ -1,0 +1,7 @@
+"""Record-replay clients built on Varan's event streaming (§5.4)."""
+
+from repro.recordreplay.logfile import decode_records, encode_event
+from repro.recordreplay.recorder import Recorder
+from repro.recordreplay.replayer import ReplaySession
+
+__all__ = ["decode_records", "encode_event", "Recorder", "ReplaySession"]

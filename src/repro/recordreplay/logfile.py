@@ -1,0 +1,128 @@
+"""Binary log format for Varan's record-replay clients (§5.4).
+
+Each record is a fixed header followed by the variable payload::
+
+    <u32 magic> <u32 total_len>
+    <u8 etype> <i32 nr> <u16 tindex> <u64 clock> <i64 retval>
+    <u8 nargs> <nargs × i64> <u8 naux> <naux × i64>
+    <u8 nfds> <nfds × i32> <u32 payload_len> <payload bytes>
+
+The format is self-delimiting so a reader can stream records out of an
+append-only file.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Tuple
+
+from repro.core.events import (
+    EV_CLONE,
+    EV_EXIT,
+    EV_FORK,
+    EV_SIGNAL,
+    EV_SYSCALL,
+    Event,
+)
+from repro.errors import RecordReplayError
+from repro.kernel.uapi import SYSCALL_NAMES
+
+MAGIC = 0x5641_5241  # "VARA"
+
+_ETYPE_CODES = {EV_SYSCALL: 0, EV_SIGNAL: 1, EV_FORK: 2, EV_CLONE: 3,
+                EV_EXIT: 4}
+_ETYPE_NAMES = {code: name for name, code in _ETYPE_CODES.items()}
+
+_HEADER = struct.Struct("<II")
+
+
+def encode_event(event: Event, payload: bytes = b"") -> bytes:
+    """Serialise one event (with its already-extracted payload)."""
+    body = bytearray()
+    body += struct.pack("<Biq", _ETYPE_CODES[event.etype], event.nr,
+                        event.clock)
+    body += struct.pack("<Hq", event.tindex, event.retval)
+    int_args = [a for a in event.args if isinstance(a, int)]
+    body += struct.pack("<B", len(int_args))
+    for arg in int_args:
+        body += struct.pack("<q", arg)
+    # aux is either flat ints or (fd, mask)-style int pairs (epoll_wait);
+    # a kind byte distinguishes the two shapes.
+    if event.aux and all(isinstance(a, tuple) and len(a) == 2
+                         for a in event.aux):
+        body += struct.pack("<BB", 1, len(event.aux))
+        for first, second in event.aux:
+            body += struct.pack("<qq", first, second)
+    else:
+        int_aux = [a for a in event.aux if isinstance(a, int)]
+        body += struct.pack("<BB", 0, len(int_aux))
+        for aux in int_aux:
+            body += struct.pack("<q", aux)
+    body += struct.pack("<B", len(event.fd_numbers))
+    for fd in event.fd_numbers:
+        body += struct.pack("<i", fd)
+    body += struct.pack("<I", len(payload))
+    body += payload
+    return _HEADER.pack(MAGIC, len(body)) + bytes(body)
+
+
+def decode_records(data: bytes) -> Iterator[Tuple[Event, bytes]]:
+    """Stream (event, payload) pairs out of a log buffer."""
+    offset = 0
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            raise RecordReplayError("truncated record header")
+        magic, length = _HEADER.unpack_from(data, offset)
+        if magic != MAGIC:
+            raise RecordReplayError(f"bad magic {magic:#x} at {offset}")
+        offset += _HEADER.size
+        if offset + length > len(data):
+            raise RecordReplayError("truncated record body")
+        yield _decode_body(data[offset:offset + length])
+        offset += length
+
+
+def _decode_body(body: bytes) -> Tuple[Event, bytes]:
+    view = memoryview(body)
+    etype_code, nr, clock = struct.unpack_from("<Biq", view, 0)
+    offset = struct.calcsize("<Biq")
+    tindex, retval = struct.unpack_from("<Hq", view, offset)
+    offset += struct.calcsize("<Hq")
+
+    def take_i64_list():
+        nonlocal offset
+        (count,) = struct.unpack_from("<B", view, offset)
+        offset += 1
+        values = list(struct.unpack_from(f"<{count}q", view, offset))
+        offset += 8 * count
+        return values
+
+    args = take_i64_list()
+    aux_kind, aux_count = struct.unpack_from("<BB", view, offset)
+    offset += 2
+    if aux_kind == 1:
+        flat = struct.unpack_from(f"<{2 * aux_count}q", view, offset)
+        offset += 16 * aux_count
+        aux = [tuple(flat[i:i + 2]) for i in range(0, len(flat), 2)]
+    else:
+        aux = list(struct.unpack_from(f"<{aux_count}q", view, offset))
+        offset += 8 * aux_count
+    (nfds,) = struct.unpack_from("<B", view, offset)
+    offset += 1
+    fd_numbers = list(struct.unpack_from(f"<{nfds}i", view, offset))
+    offset += 4 * nfds
+    (payload_len,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    payload = bytes(view[offset:offset + payload_len])
+    if len(payload) != payload_len:
+        raise RecordReplayError("truncated payload")
+
+    etype = _ETYPE_NAMES.get(etype_code)
+    if etype is None:
+        raise RecordReplayError(f"unknown event type {etype_code}")
+    name = SYSCALL_NAMES.get(nr, etype)
+    event = Event(etype, nr, name, tindex, clock, retval=retval,
+                  args=tuple(args), aux=tuple(aux),
+                  fd_count=len(fd_numbers),
+                  fd_numbers=tuple(fd_numbers))
+    return event, payload

@@ -1,0 +1,125 @@
+"""The replay-phase client: an artificial leader that publishes logged
+events into a ring consumed by one or more replayed versions (§5.4).
+
+Because Varan was designed to run multiple instances simultaneously,
+several versions can be replayed against the same log in one pass —
+e.g. to find which revisions of an application are susceptible to a
+crash reported from production.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bpf.rules import RewriteRules
+from repro.core.coordinator import SessionStats, Variant, VersionSpec
+from repro.core.events import Event
+from repro.core.monitor import ReplicaMonitor, RingTuple
+from repro.core.ringbuffer import RingBuffer
+from repro.core.shm import SharedMemoryPool
+from repro.core.tables import install_tables
+from repro.costmodel import cycles
+from repro.errors import NvxError, RecordReplayError
+from repro.recordreplay.logfile import decode_records
+from repro.sim.core import Compute
+
+
+class ReplaySession:
+    """Replay a recorded log against N candidate versions.
+
+    Duck-types the parts of :class:`~repro.core.coordinator.NvxSession`
+    the follower machinery relies on.  Single-process logs only: a FORK
+    event in the log is a replay error.
+    """
+
+    def __init__(self, world, specs: List[VersionSpec], log_bytes: bytes,
+                 machine=None, rules: Optional[RewriteRules] = None,
+                 ring_capacity: int = 256, daemon: bool = False) -> None:
+        if not specs:
+            raise NvxError("replay needs at least one version")
+        self.world = world
+        self.costs = world.costs
+        self.machine = machine or world.server
+        self.rules = rules or RewriteRules()
+        self.pool = SharedMemoryPool(world.sim, world.costs)
+        self.stats = SessionStats()
+        self.replay_mode = True
+        self.daemon = daemon
+        self.records = list(decode_records(log_bytes))
+        self.variants = [Variant(i, spec, self.machine)
+                         for i, spec in enumerate(specs)]
+        ring = RingBuffer(world.sim, world.costs, capacity=ring_capacity,
+                          name="replay-ring")
+        self.tuples = [RingTuple(0, ring, channels={})]
+        self.events_replayed = 0
+        self.crashed: List[str] = []
+
+    @property
+    def root_tuple(self) -> RingTuple:
+        return self.tuples[0]
+
+    def start(self) -> "ReplaySession":
+        ring = self.root_tuple.ring
+        for variant in self.variants:
+            ring.add_consumer(variant.vid)
+        for variant in self.variants:
+            task = self.world.kernel.spawn_task(
+                self.machine, variant.spec.main, name=variant.name,
+                daemon=self.daemon)
+            variant.tasks.append(task)
+            monitor = ReplicaMonitor(self, variant, task, self.root_tuple)
+            install_tables(monitor)
+            task.segv_hook = self._crash_hook(variant)
+        self.machine.spawn(self._publisher(), name="varan.replay-leader",
+                           daemon=True)
+        return self
+
+    # -- the artificial leader ------------------------------------------------
+
+    def _publisher(self):
+        ring = self.root_tuple.ring
+        for event, payload in self.records:
+            if event.etype == "fork":
+                raise RecordReplayError(
+                    "multi-process logs are not replayable")
+            fresh = Event(event.etype, event.nr, event.name, event.tindex,
+                          event.clock, retval=event.retval,
+                          args=event.args, aux=event.aux,
+                          fd_count=event.fd_count,
+                          fd_numbers=event.fd_numbers)
+            if payload:
+                fresh.payload = yield from self.pool.alloc(
+                    payload, readers=len(ring.cursors))
+            yield Compute(cycles(
+                self.costs.record_log_per_event
+                + self.costs.record_log_per_byte * len(payload)))
+            yield from ring.publish(fresh)
+            self.events_replayed += 1
+
+    # -- NvxSession duck-typing -------------------------------------------------
+
+    def report_divergence(self, monitor, call, event) -> None:
+        self.stats.fatal_divergences.append(
+            (monitor.variant.name, call.name, event.name))
+        monitor.variant.alive = False
+        self.root_tuple.ring.remove_consumer(monitor.vid)
+
+    def await_promotion_complete(self, task):
+        raise RecordReplayError("replayed versions cannot become leader")
+        yield  # pragma: no cover
+
+    def attach_follower_child(self, variant, child_task, tuple_id):
+        raise RecordReplayError("multi-process logs are not replayable")
+
+    def tuple_by_id(self, tuple_id: int) -> RingTuple:
+        return self.root_tuple
+
+    def _crash_hook(self, variant: Variant):
+        def hook(task, fault):
+            self.crashed.append(variant.name)
+            self.stats.crashes.append(
+                (variant.name, str(fault), self.world.sim.now))
+            variant.alive = False
+            self.root_tuple.ring.remove_consumer(variant.vid)
+
+        return hook

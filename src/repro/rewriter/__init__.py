@@ -1,0 +1,35 @@
+"""Selective binary rewriting of syscall sites and the vDSO (§3.2)."""
+
+from repro.rewriter.entrypoint import (
+    ENTRY_SOURCE,
+    make_int0_handler,
+    make_vmcall_handler,
+    return_address,
+    saved_rax_slot,
+)
+from repro.rewriter.patchset import (
+    KIND_INT,
+    KIND_JMP,
+    KIND_VDSO,
+    CallSite,
+    PatchSet,
+    RewriteStats,
+)
+from repro.rewriter.rewriter import BinaryRewriter
+from repro.rewriter.vdso import rewrite_vdso
+
+__all__ = [
+    "ENTRY_SOURCE",
+    "make_int0_handler",
+    "make_vmcall_handler",
+    "return_address",
+    "saved_rax_slot",
+    "KIND_INT",
+    "KIND_JMP",
+    "KIND_VDSO",
+    "CallSite",
+    "PatchSet",
+    "RewriteStats",
+    "BinaryRewriter",
+    "rewrite_vdso",
+]

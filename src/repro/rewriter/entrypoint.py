@@ -1,0 +1,85 @@
+"""The shared system-call entry point and its handler factories.
+
+The entry point is a tiny statically-positioned code sequence (mapped as
+``varan.entry``): it saves all registers, bridges into monitor logic via
+``vmcall``, restores registers and returns to the trampoline that called
+it.  Monitor behaviour is *not* baked into the code — the ``vmcall``
+handler consults whatever system-call table is currently installed, which
+is how a follower becomes a leader during failover without re-rewriting
+anything (§3.2, §5.1).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import CostModel, cycles
+from repro.errors import ExecutionFault
+from repro.rewriter.patchset import PatchSet
+from repro.sim.core import Compute
+
+#: VX86 source of the shared entry point. PUSHA/POPA model the
+#: save-all-registers / restore-all-registers bracket of §3.2.
+ENTRY_SOURCE = """
+pusha
+vmcall
+popa
+ret
+"""
+
+#: Number of registers PUSHA saves (all 16 minus RSP itself).
+_SAVED_REGS = 15
+
+
+def saved_rax_slot(cpu) -> int:
+    """Stack address of the saved RAX while inside the entry point.
+
+    PUSHA pushes RAX first, so its slot sits just below the return
+    address the trampoline's CALL pushed.
+    """
+    return cpu.get("rsp") + (_SAVED_REGS - 1) * 8
+
+
+def return_address(cpu) -> int:
+    """The trampoline return address, used to identify the call site."""
+    return cpu.space.read_u64(cpu.get("rsp") + _SAVED_REGS * 8)
+
+
+def make_vmcall_handler(patchset: PatchSet, dispatch):
+    """Build the ``vmcall`` hook for CPUs running rewritten code.
+
+    ``dispatch(cpu, site)`` is a generator implementing the monitor's
+    system-call table lookup and handler; its return value (if not None)
+    is written into the saved-RAX slot so POPA materialises it as the
+    syscall result.
+    """
+
+    def handler(cpu):
+        site = patchset.site_for_return_addr(return_address(cpu))
+        if site is None:
+            raise ExecutionFault(
+                f"vmcall from unknown return address "
+                f"{return_address(cpu):#x}")
+        result = yield from dispatch(cpu, site)
+        if result is not None:
+            cpu.space.write_u64(saved_rax_slot(cpu), result)
+        return None
+
+    return handler
+
+
+def make_int0_handler(patchset: PatchSet, dispatch, costs: CostModel):
+    """Build the ``int0`` hook: the signal-path fallback of §3.2.
+
+    Sites where detouring was impossible keep a one-byte INT0; the
+    interrupt is fielded by a signal handler which redirects to the same
+    dispatch — at the extra cost of signal delivery and ``sigreturn``.
+    """
+
+    def handler(cpu):
+        site = patchset.site_for_int_rip(cpu.rip)
+        if site is None:
+            raise ExecutionFault(f"INT0 at unknown rip {cpu.rip:#x}")
+        yield Compute(cycles(costs.intercept.int_fallback))
+        result = yield from dispatch(cpu, site)
+        return result  # the CPU deposits it in RAX, as sigreturn would
+
+    return handler

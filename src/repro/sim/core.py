@@ -1,0 +1,395 @@
+"""Deterministic discrete-event simulator.
+
+The whole reproduction runs on top of this engine.  Simulated processes
+are Python generators that yield *commands* — :class:`Compute`,
+:class:`Sleep` or :class:`Block` — and the engine advances a global
+virtual clock measured in integer picoseconds.  Runs are fully
+deterministic: the event heap is ordered by ``(time, sequence)`` and no
+wall-clock source is ever consulted.
+
+CPU cores are modelled explicitly.  A process occupies one core of its
+:class:`~repro.sim.machine.Machine` whenever it is runnable; blocking
+(``Block(spin=False)``) or sleeping releases the core, while spinning
+(``Block(spin=True)``) keeps it busy — which is how busy-waiting followers
+consume hardware threads, the reason the paper stops at six followers on
+an eight-thread machine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import DeadlockError, ProcessKilled, SimulationError
+
+#: Sentinel delivered to a ``Block`` that timed out.
+TIMEOUT = object()
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Occupy a core for ``ps`` picoseconds of computation.
+
+    ``preemptible`` computations give up the core at completion when other
+    processes are queued for it (cooperative round-robin), which
+    approximates processor sharing without a preemption quantum.
+    """
+
+    ps: int
+    preemptible: bool = True
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Release the core and resume after ``ps`` picoseconds."""
+
+    ps: int
+
+
+@dataclass(frozen=True)
+class Block:
+    """Suspend until another process calls :meth:`Process.wake`.
+
+    With ``spin=True`` the process keeps its core while waiting (busy
+    waiting); otherwise the core is released.  An optional timeout resumes
+    the process with the :data:`TIMEOUT` sentinel.
+    """
+
+    spin: bool = False
+    timeout_ps: Optional[int] = None
+
+
+class EventHandle:
+    """Cancellable handle for a scheduled callback."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Global event loop with a picosecond virtual clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._now = 0
+        self._current: Optional["Process"] = None
+        self.processes: List["Process"] = []
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in picoseconds."""
+        return self._now
+
+    @property
+    def current_process(self) -> Optional["Process"]:
+        """The process whose generator is executing right now."""
+        return self._current
+
+    def schedule(self, delay_ps: int, fn: Callable[[], None]) -> EventHandle:
+        """Run ``fn`` after ``delay_ps`` picoseconds of virtual time."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps}")
+        handle = EventHandle()
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay_ps, self._seq, handle, fn))
+        return handle
+
+    def run(self, until_ps: Optional[int] = None, max_events: int = 500_000_000) -> None:
+        """Drain the event heap, optionally stopping at ``until_ps``.
+
+        Raises :class:`DeadlockError` if events run out while some process
+        is still blocked — unless every remaining process is a daemon.
+        """
+        events = 0
+        while self._heap:
+            when, _seq, handle, fn = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if until_ps is not None and when > until_ps:
+                self._now = until_ps
+                heapq.heappush(self._heap, (when, _seq, handle, fn))
+                return
+            self._now = when
+            fn()
+            events += 1
+            if events >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        stuck = [p for p in self.processes
+                 if not p.done and not p.daemon and p.state != NEW]
+        if stuck:
+            names = ", ".join(p.name for p in stuck[:8])
+            raise DeadlockError(f"no events left but processes blocked: {names}")
+
+    def run_until_done(self, procs, **kwargs) -> None:
+        """Run until every process in ``procs`` has finished."""
+        self.run(**kwargs)
+        missing = [p.name for p in procs if not p.done]
+        if missing:
+            raise DeadlockError(f"processes never finished: {missing}")
+
+
+# Process lifecycle states.
+NEW = "new"
+READY = "ready"  # waiting for a core
+RUNNING = "running"  # holds a core, computing
+SPINNING = "spinning"  # holds a core, busy-waiting
+BLOCKED = "blocked"  # no core, waiting for wake()
+SLEEPING = "sleeping"  # no core, timed sleep
+DONE = "done"
+
+
+class Process:
+    """A simulated thread of execution hosted on a machine.
+
+    ``gen`` is a generator yielding :class:`Compute`, :class:`Sleep` or
+    :class:`Block` commands.  Values sent into the generator are the wake
+    values passed to :meth:`wake` (or :data:`TIMEOUT`).
+    """
+
+    def __init__(self, machine, gen: Generator, name: str = "proc",
+                 daemon: bool = False) -> None:
+        self.machine = machine
+        self.sim: Simulator = machine.sim
+        self.gen = gen
+        self.name = name
+        self.daemon = daemon
+        self.state = NEW
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.cpu_ps = 0  # accumulated compute time, for utilisation stats
+        self._done_callbacks: List[Callable[["Process"], None]] = []
+        self._wake_token = 0
+        self._timeout_handle: Optional[EventHandle] = None
+        self._pending_handle: Optional[EventHandle] = None
+        self.sim.processes.append(self)
+
+    # -- public API ---------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+    @property
+    def failed(self) -> bool:
+        return self.exception is not None
+
+    def start(self) -> "Process":
+        """Queue the process for its first core grant."""
+        if self.state != NEW:
+            raise SimulationError(f"{self.name}: started twice")
+        self.state = READY
+        self.machine.request_core(self)
+        return self
+
+    def on_done(self, fn: Callable[["Process"], None]) -> None:
+        """Register a callback fired (once) when the process finishes."""
+        if self.done:
+            fn(self)
+        else:
+            self._done_callbacks.append(fn)
+
+    def wake(self, value: Any = None) -> bool:
+        """Resume a process parked on a :class:`Block`.
+
+        Returns ``False`` when the process was not actually blocked (e.g.
+        it already timed out), in which case the caller should pick a
+        different waiter.
+        """
+        if self.state == SPINNING:
+            self._cancel_timeout()
+            self._wake_token += 1
+            # Resume on a fresh event: waking synchronously would let the
+            # spinner's continuation run inside the waker's stack (and,
+            # if it re-parks on the same queue, livelock a notify_all).
+            self.state = RUNNING
+            token = self._wake_token
+            self._pending_handle = self.sim.schedule(
+                0, lambda: self._spin_resume(token, value))
+            return True
+        if self.state == BLOCKED:
+            self._cancel_timeout()
+            self._wake_token += 1
+            self.state = READY
+            self._resume_value = value
+            self.machine.request_core(self)
+            return True
+        return False
+
+    def interrupt(self, exc: BaseException) -> bool:
+        """Throw ``exc`` into the process at its current yield point.
+
+        Works in every non-terminal state; mid-compute interrupts cancel
+        the pending completion and deliver immediately.
+        """
+        if self.state == DONE:
+            return False
+        if self.state == NEW:
+            self.state = DONE
+            self.exception = exc
+            self.gen.close()
+            self._fire_done()
+            return True
+        self._cancel_timeout()
+        self._wake_token += 1
+        if self._pending_handle is not None:
+            self._pending_handle.cancel()
+            self._pending_handle = None
+        if self.state in (RUNNING, SPINNING):
+            self.state = RUNNING
+            self._step(None, throw=exc)
+        else:  # BLOCKED, SLEEPING or READY: need a core to run cleanup
+            self._resume_throw = exc
+            if self.state != READY:
+                self.state = READY
+                self.machine.request_core(self)
+        return True
+
+    def kill(self) -> None:
+        """Forcibly terminate the process (delivers ProcessKilled)."""
+        self.interrupt(ProcessKilled(self.name))
+
+    def join(self):
+        """Generator: block the *calling* process until this one is done."""
+        if not self.done:
+            waiter = self.sim.current_process
+            if waiter is None:
+                raise SimulationError("join() outside a process")
+            self.on_done(lambda _p: waiter.wake(None))
+            yield Block()
+        if self.exception is not None and not isinstance(
+                self.exception, ProcessKilled):
+            raise SimulationError(
+                f"joined process {self.name} failed: {self.exception!r}"
+            ) from self.exception
+        return self.result
+
+    # -- engine internals ----------------------------------------------
+
+    _resume_value: Any = None
+    _resume_throw: Optional[BaseException] = None
+
+    def _granted_core(self) -> None:
+        """Called by the machine when this process receives a core."""
+        self.state = RUNNING
+        throw, self._resume_throw = self._resume_throw, None
+        value, self._resume_value = self._resume_value, None
+        self._step(value, throw=throw)
+
+    def _step(self, value: Any, throw: Optional[BaseException] = None) -> None:
+        prev = self.sim._current
+        self.sim._current = self
+        try:
+            if throw is not None:
+                cmd = self.gen.throw(throw)
+            else:
+                cmd = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except ProcessKilled as exc:
+            self._finish(exception=exc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .exception
+            self._finish(exception=exc)
+            return
+        finally:
+            self.sim._current = prev
+        self._dispatch(cmd)
+
+    def _dispatch(self, cmd: Any) -> None:
+        if isinstance(cmd, Compute):
+            self.cpu_ps += cmd.ps
+            token = self._wake_token
+            handle = self.sim.schedule(
+                cmd.ps, lambda: self._after_compute(token, cmd.preemptible))
+            self._pending_handle = handle
+        elif isinstance(cmd, Sleep):
+            self.state = SLEEPING
+            self.machine.release_core(self)
+            token = self._wake_token
+            self._pending_handle = self.sim.schedule(
+                cmd.ps, lambda: self._after_sleep(token))
+        elif isinstance(cmd, Block):
+            if cmd.spin:
+                self.state = SPINNING
+            else:
+                self.state = BLOCKED
+                self.machine.release_core(self)
+            if cmd.timeout_ps is not None:
+                token = self._wake_token
+                self._timeout_handle = self.sim.schedule(
+                    cmd.timeout_ps, lambda: self._on_timeout(token))
+        else:
+            self._finish(exception=SimulationError(
+                f"{self.name} yielded unknown command {cmd!r}"))
+
+    def _spin_resume(self, token: int, value: Any) -> None:
+        if token != self._wake_token or self.state != RUNNING:
+            return
+        self._pending_handle = None
+        self._step(value)
+
+    def _after_compute(self, token: int, preemptible: bool) -> None:
+        if token != self._wake_token or self.state != RUNNING:
+            return
+        self._pending_handle = None
+        if preemptible and self.machine.has_core_waiters():
+            # Cooperative round-robin: give the core up and requeue.
+            self.state = READY
+            self.machine.release_core(self)
+            self.machine.request_core(self)
+        else:
+            self._step(None)
+
+    def _after_sleep(self, token: int) -> None:
+        if token != self._wake_token or self.state != SLEEPING:
+            return
+        self._pending_handle = None
+        self.state = READY
+        self.machine.request_core(self)
+
+    def _on_timeout(self, token: int) -> None:
+        if token != self._wake_token:
+            return
+        self._timeout_handle = None
+        if self.state == SPINNING:
+            self._wake_token += 1
+            self.state = RUNNING
+            self._step(TIMEOUT)
+        elif self.state == BLOCKED:
+            self._wake_token += 1
+            self.state = READY
+            self._resume_value = TIMEOUT
+            self.machine.request_core(self)
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
+
+    def _finish(self, result: Any = None,
+                exception: Optional[BaseException] = None) -> None:
+        had_core = self.state in (RUNNING, SPINNING)
+        self.state = DONE
+        self.result = result
+        self.exception = exception
+        self._cancel_timeout()
+        if had_core:
+            self.machine.release_core(self)
+        self._fire_done()
+
+    def _fire_done(self) -> None:
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} state={self.state} t={self.sim.now}>"

@@ -1,0 +1,167 @@
+"""Synchronisation primitives built on the DES engine.
+
+All primitives expose *generator* methods intended to be driven with
+``yield from`` inside a simulated process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import TIMEOUT, Block, Process, Simulator
+
+
+class WaitQueue:
+    """FIFO queue of processes waiting for a notification."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._waiters: Deque[Process] = deque()
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def wait(self, spin: bool = False, timeout_ps: Optional[int] = None):
+        """Generator: park the calling process until notified.
+
+        Returns the value passed to :meth:`notify`, or :data:`TIMEOUT`.
+        """
+        me = self.sim.current_process
+        if me is None:
+            raise SimulationError("wait() called outside a process")
+        self._waiters.append(me)
+        value = yield Block(spin=spin, timeout_ps=timeout_ps)
+        if value is TIMEOUT:
+            try:
+                self._waiters.remove(me)
+            except ValueError:
+                pass
+        return value
+
+    def notify(self, value: Any = None) -> bool:
+        """Wake the longest-waiting process. Returns True if one woke."""
+        while self._waiters:
+            proc = self._waiters.popleft()
+            if proc.wake(value):
+                return True
+        return False
+
+    def notify_all(self, value: Any = None) -> int:
+        """Wake every *currently parked* waiter.
+
+        Snapshot semantics: processes that enqueue themselves while the
+        wakeups run (e.g. a spinner that re-parks immediately) are not
+        woken again by this call — that would livelock.
+        """
+        waiters = list(self._waiters)
+        self._waiters.clear()
+        woken = 0
+        for proc in waiters:
+            if proc.wake(value):
+                woken += 1
+        return woken
+
+    def discard(self, proc: Process) -> None:
+        """Remove a process from the queue (after interrupt)."""
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+
+class Mutex:
+    """FIFO mutual exclusion, the serialisation primitive for the
+    centralized lockstep monitor baseline."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._locked = False
+        self._queue = WaitQueue(sim)
+        self.owner: Optional[Process] = None
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self):
+        """Generator: acquire the lock (FIFO order)."""
+        me = self.sim.current_process
+        if self._locked:
+            yield from self._queue.wait()
+        else:
+            self._locked = True
+        self.owner = me
+        return None
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError("release of an unlocked Mutex")
+        self.owner = None
+        if not self._queue.notify():
+            self._locked = False
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeups."""
+
+    def __init__(self, sim: Simulator, value: int = 1) -> None:
+        if value < 0:
+            raise SimulationError("semaphore value must be non-negative")
+        self.sim = sim
+        self._value = value
+        self._queue = WaitQueue(sim)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self):
+        if self._value > 0:
+            self._value -= 1
+        else:
+            yield from self._queue.wait()
+        return None
+
+    def release(self) -> None:
+        if not self._queue.notify():
+            self._value += 1
+
+
+class Barrier:
+    """All-or-nothing rendezvous for ``parties`` processes.
+
+    The lockstep monitor uses one to force every version to reach the
+    same syscall before any proceeds.
+    """
+
+    def __init__(self, sim: Simulator, parties: int) -> None:
+        if parties < 1:
+            raise SimulationError("barrier needs at least one party")
+        self.sim = sim
+        self.parties = parties
+        self._count = 0
+        self._queue = WaitQueue(sim)
+        self.generation = 0
+
+    def arrive(self):
+        """Generator: block until all parties have arrived."""
+        self._count += 1
+        if self._count >= self.parties:
+            self._count = 0
+            self.generation += 1
+            self._queue.notify_all()
+            return True  # the releasing party
+        yield from self._queue.wait()
+        return False
+
+    def reset_parties(self, parties: int) -> None:
+        """Shrink/grow the barrier (used when a version crashes)."""
+        if parties < 1:
+            raise SimulationError("barrier needs at least one party")
+        self.parties = parties
+        if self._count >= self.parties:
+            self._count = 0
+            self.generation += 1
+            self._queue.notify_all()

@@ -1,0 +1,49 @@
+"""Convenience wrapper tying simulator, machines, network and kernel
+into one testbed mirroring the paper's setup: two Xeon E3-1280 machines
+in the same rack joined by a 1 Gb link."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.costmodel import CostModel, DEFAULT_COSTS
+from repro.kernel.kernel import Kernel
+from repro.sim.core import Simulator
+from repro.sim.machine import Machine
+from repro.sim.network import Network
+
+
+class World:
+    """A complete simulated testbed."""
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS,
+                 machine_names=("server", "client"), seed: int = 0) -> None:
+        self.costs = costs
+        self.sim = Simulator()
+        self.network = Network(self.sim, costs.network)
+        self.machines: Dict[str, Machine] = {
+            name: Machine(self.sim, costs.machine, name=name)
+            for name in machine_names
+        }
+        self.kernel = Kernel(self.sim, self.network, costs, seed=seed)
+
+    @property
+    def server(self) -> Machine:
+        return self.machines["server"]
+
+    @property
+    def client(self) -> Machine:
+        return self.machines["client"]
+
+    def spawn(self, main, name: str = "proc",
+              machine: Optional[Machine] = None, daemon: bool = False):
+        """Spawn a native (un-monitored) task running ``main(ctx)``."""
+        return self.kernel.spawn_task(machine or self.server, main,
+                                      name=name, daemon=daemon)
+
+    def run(self, **kwargs) -> None:
+        self.sim.run(**kwargs)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now

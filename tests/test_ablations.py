@@ -1,0 +1,38 @@
+"""Tests for the design-choice ablation studies."""
+
+from repro.experiments import ablations
+
+
+class TestPumpAblation:
+    def test_pump_penalty_grows_with_followers(self):
+        result = ablations.pump_vs_ring(events=400,
+                                        consumer_counts=(1, 4))
+        by_count = {row["consumers"]: row for row in result.rows}
+        assert by_count[4]["pump_penalty"] > by_count[1]["pump_penalty"]
+        # §3.3.1: the pump is the bottleneck at scale.
+        assert by_count[4]["pump_penalty"] > 2.0
+
+    def test_ring_time_independent_of_consumer_count(self):
+        result = ablations.pump_vs_ring(events=400,
+                                        consumer_counts=(1, 6))
+        by_count = {row["consumers"]: row for row in result.rows}
+        # Consumers progress in parallel on their own cores.
+        assert by_count[6]["ring_us"] <= by_count[1]["ring_us"] * 1.3
+
+
+class TestCapacityAblation:
+    def test_single_slot_ring_is_slowest(self):
+        result = ablations.ring_capacity(events=400,
+                                         capacities=(1, 256))
+        by_capacity = {row["capacity"]: row for row in result.rows}
+        assert by_capacity[1]["time_us"] >= by_capacity[256]["time_us"]
+
+
+class TestWaitlockAblation:
+    def test_slow_producer_forces_waitlock_either_way(self):
+        result = ablations.waitlock(events=50)
+        by_mode = {row["mode"]: row for row in result.rows}
+        assert by_mode["waitlock"]["waitlock_sleeps"] == 50
+        # Spinning first still ends in the waitlock: budget expires.
+        assert by_mode["spin-first"]["waitlock_sleeps"] == 50
+        assert by_mode["spin-first"]["spin_waits"] == 50

@@ -1,0 +1,131 @@
+"""Smoke + shape tests for the experiment drivers (tiny workloads)."""
+
+import pytest
+
+from repro.experiments import figure4, multirevision, failover
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.spec_common import (
+    run_spec_lockstep,
+    run_spec_native,
+    run_spec_varan,
+)
+from repro.apps.spec import ALL_SPEC
+from repro.nvx.lockstep import MX_PROFILE
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4.run(iterations=80, warmup=10)
+
+    def test_all_five_calls_measured(self, result):
+        assert [row["syscall"] for row in result.rows] == [
+            "close", "write", "read", "open", "time"]
+
+    def test_native_matches_paper_exactly(self, result):
+        # Native costs are calibration inputs: they must match.
+        for row in result.rows:
+            assert row["native"] == pytest.approx(
+                figure4.PAPER_FIGURE4["native"][row["syscall"]], rel=0.02)
+
+    def test_intercept_cheap_except_time(self, result):
+        for row in result.rows:
+            ratio = row["intercept"] / row["native"]
+            if row["syscall"] == "time":
+                assert ratio > 2  # large relative, tiny absolute
+            else:
+                assert ratio < 1.16
+
+    def test_leader_shape(self, result):
+        by_call = {row["syscall"]: row for row in result.rows}
+        # close/write: small constant on top of interception.
+        assert by_call["close"]["leader"] == pytest.approx(1718, rel=0.15)
+        # read pays the payload copy; open pays the fd transfer.
+        assert by_call["read"]["leader"] > 2 * by_call["read"]["intercept"]
+        assert by_call["open"]["leader"] == pytest.approx(8788, rel=0.15)
+
+    def test_follower_cheaper_than_native_for_small_results(self, result):
+        by_call = {row["syscall"]: row for row in result.rows}
+        assert by_call["close"]["follower"] < by_call["close"]["native"]
+        assert by_call["write"]["follower"] < by_call["write"]["native"]
+        # fd transfer makes open expensive for followers too.
+        assert by_call["open"]["follower"] == pytest.approx(7342, rel=0.2)
+
+
+class TestSpecRunners:
+    def test_native_run_completes(self):
+        bench = ALL_SPEC["186.crafty"]
+        assert run_spec_native(bench, scale=0.02) > 0
+
+    def test_varan_overhead_small_for_cache_light(self):
+        bench = ALL_SPEC["186.crafty"]  # low memory intensity
+        native = run_spec_native(bench, scale=0.02)
+        varan = run_spec_varan(bench, followers=1, scale=0.02)
+        assert 1.0 <= varan / native < 1.15
+
+    def test_mcf_degrades_with_followers(self):
+        bench = ALL_SPEC["429.mcf"]  # highest memory intensity
+        native = run_spec_native(bench, scale=0.02)
+        few = run_spec_varan(bench, followers=1, scale=0.02)
+        many = run_spec_varan(bench, followers=6, scale=0.02)
+        assert many / native > 2.0  # steep degradation, as in Figure 8
+        assert many > few
+
+    def test_lockstep_slower_than_varan_on_spec(self):
+        bench = ALL_SPEC["176.gcc"]  # highest syscall density
+        native = run_spec_native(bench, scale=0.02)
+        varan = run_spec_varan(bench, followers=1, scale=0.02)
+        lockstep = run_spec_lockstep(bench, MX_PROFILE, scale=0.02)
+        assert lockstep > varan > native
+
+
+class TestSection5:
+    def test_failover_shape(self):
+        result = failover.run()
+        rows = {row["scenario"]: row for row in result.rows}
+        baseline = rows["redis HMGET baseline (no buggy version)"]
+        follower = rows["redis buggy revision as follower"]
+        leader = rows["redis buggy revision as leader"]
+        # Follower crash: no latency increase at all.
+        assert follower["latency_us"] == pytest.approx(
+            baseline["latency_us"], rel=0.02)
+        # Leader crash: latency roughly triples (42 -> 122 in the paper).
+        assert leader["latency_us"] > 2 * baseline["latency_us"]
+        assert leader["promotions"] == 1
+        # Lighttpd's 5 ms request hides the failover in both orders.
+        lf = rows["lighttpd buggy as follower"]
+        ll = rows["lighttpd buggy as leader"]
+        assert ll["latency_us"] == pytest.approx(lf["latency_us"],
+                                                 rel=0.05)
+
+    def test_multirevision_all_pairs_survive(self):
+        result = multirevision.run()
+        varan_rows = [r for r in result.rows if r["monitor"] == "varan+bpf"]
+        assert len(varan_rows) == 3
+        for row in varan_rows:
+            assert row["followers_alive"] == 1
+            assert row["divergences_resolved"] >= 1
+            assert row["requests_served"] > 0
+        lockstep_row = [r for r in result.rows
+                        if r["monitor"] == "ptrace-lockstep"][0]
+        assert lockstep_row["followers_alive"] == 0
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {"table1", "figure4", "figure5", "figure6", "table2",
+                    "figure7", "figure8", "failover-5.1",
+                    "multirevision-5.2", "sanitization-5.3",
+                    "recordreplay-5.4", "ablations"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_table1_renders(self):
+        result = run_experiment("table1")
+        assert isinstance(result, ExperimentResult)
+        text = result.render()
+        assert "Nginx" in text and "101852" in text.replace(",", "")

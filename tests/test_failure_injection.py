@@ -1,0 +1,161 @@
+"""Failure-injection tests: cascading crashes, tiny rings, pool leaks."""
+
+import pytest
+
+from repro.core import NvxSession, VersionSpec
+from repro.kernel.uapi import Segfault
+from repro.world import World
+
+
+def crash_after(n_calls, tag="crash"):
+    def main(ctx):
+        for i in range(n_calls):
+            yield from ctx.time()
+        raise Segfault(f"{tag} after {n_calls} calls")
+        yield  # pragma: no cover
+
+    return main
+
+
+def healthy(n_calls=10):
+    def main(ctx):
+        values = []
+        for _ in range(n_calls):
+            values.append((yield from ctx.time()))
+        fd = yield from ctx.open("/tmp/data")
+        data = yield from ctx.read(fd, 32)
+        yield from ctx.close(fd)
+        return data
+
+    return main
+
+
+def run_session(specs, **kwargs):
+    world = World()
+    world.kernel.fs(world.server).create("/tmp/data", b"still-here")
+    session = NvxSession(world, specs, **kwargs).start()
+    world.run()
+    return session, world
+
+
+class TestCascadingCrashes:
+    def test_leader_crashes_then_new_leader_crashes(self):
+        session, _ = run_session([
+            VersionSpec("crash0", crash_after(2, "first")),
+            VersionSpec("crash1", crash_after(5, "second")),
+            VersionSpec("survivor", healthy()),
+        ])
+        assert session.stats.promotions == 2
+        assert len(session.stats.crashes) == 2
+        survivor = session.variants[2]
+        assert survivor.is_leader
+        assert survivor.root_task.threads[0].result == b"still-here"
+
+    def test_all_followers_crash_leader_continues(self):
+        session, _ = run_session([
+            VersionSpec("leader", healthy()),
+            VersionSpec("f1", crash_after(1)),
+            VersionSpec("f2", crash_after(3)),
+        ])
+        assert session.stats.promotions == 0
+        assert len(session.stats.crashes) == 2
+        assert session.variants[0].root_task.threads[0].result == \
+            b"still-here"
+        assert session.followers == []
+
+    def test_leader_crash_with_no_followers_is_fatal_for_session(self):
+        from repro.errors import FailoverError
+
+        world = World()
+        session = NvxSession(world,
+                             [VersionSpec("only", crash_after(1))]).start()
+        world.run()
+        # The coordinator hit FailoverError: nobody left to promote.
+        assert session.coordinator.failed
+        assert isinstance(session.coordinator.exception, FailoverError)
+
+    def test_crash_during_payload_flight_does_not_leak_pool(self):
+        def reader(ctx):
+            fd = yield from ctx.open("/tmp/data")
+            for _ in range(20):
+                yield from ctx.syscall("pread", fd, 32, 0, nbytes=32)
+            yield from ctx.close(fd)
+            return "done"
+
+        def crashing_reader(ctx):
+            fd = yield from ctx.open("/tmp/data")
+            for _ in range(3):
+                yield from ctx.syscall("pread", fd, 32, 0, nbytes=32)
+            raise Segfault("mid-stream")
+            yield  # pragma: no cover
+
+        session, _ = run_session([
+            VersionSpec("leader", reader),
+            VersionSpec("doomed", crashing_reader),
+            VersionSpec("steady", reader),
+        ])
+        # All payload chunks eventually returned to their buckets.
+        assert session.pool.live_bytes() == 0
+
+
+class TestTinyRing:
+    def test_capacity_one_ring_still_correct(self):
+        session, _ = run_session(
+            [VersionSpec("a", healthy(5)), VersionSpec("b", healthy(5))],
+            ring_capacity=1)
+        assert session.variants[0].root_task.threads[0].result == \
+            session.variants[1].root_task.threads[0].result
+        assert session.root_tuple.ring.stats.producer_stalls > 0
+
+    def test_capacity_one_with_crashing_follower(self):
+        session, _ = run_session(
+            [VersionSpec("a", healthy(8)),
+             VersionSpec("b", crash_after(2))],
+            ring_capacity=1)
+        assert session.variants[0].root_task.threads[0].result == \
+            b"still-here"
+
+
+class TestFollowerLag:
+    def test_slow_follower_throttles_leader_via_backpressure(self):
+        def fast(ctx):
+            for _ in range(600):
+                yield from ctx.time()
+            return "done"
+
+        def slow(ctx):
+            for _ in range(600):
+                yield from ctx.time()
+                yield from ctx.compute(4000)  # slower than the leader
+            return "done"
+
+        world = World()
+        session = NvxSession(world, [VersionSpec("fast", fast),
+                                     VersionSpec("slow", slow)],
+                             ring_capacity=16).start()
+        world.run()
+        assert session.root_tuple.ring.stats.producer_stalls > 0
+        assert session.variants[0].root_task.threads[0].result == "done"
+
+    def test_divergent_follower_unblocks_stalled_leader(self):
+        # The leader fills the ring; the follower then diverges fatally.
+        # Unsubscribing it must release the leader.
+        def leader(ctx):
+            for _ in range(100):
+                yield from ctx.time()
+            return "finished"
+
+        def follower(ctx):
+            for _ in range(10):
+                yield from ctx.time()
+            yield from ctx.getuid()  # divergence
+            return "never"
+
+        world = World()
+        session = NvxSession(world, [VersionSpec("l", leader),
+                                     VersionSpec("f", follower)],
+                             ring_capacity=8).start()
+        world.run()
+        assert session.variants[0].root_task.threads[0].result == \
+            "finished"
+        assert session.stats.fatal_divergences

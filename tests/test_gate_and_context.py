@@ -1,0 +1,226 @@
+"""Tests for the syscall gate dispatch paths and the ProcessContext API."""
+
+import pytest
+
+from repro.costmodel import DEFAULT_COSTS, cycles
+from repro.kernel.task import PATCH_INT, PATCH_JMP, PATCH_VDSO
+from repro.kernel.uapi import Syscall, SysResult
+from repro.world import World
+
+
+def run_main(main, configure=None):
+    world = World()
+    task = world.kernel.spawn_task(world.server, main, name="t")
+    if configure is not None:
+        configure(task)
+    world.run()
+    thread = task.threads[0]
+    if thread.exception is not None:
+        raise thread.exception
+    return thread.result, world, task
+
+
+class TestGateDispatch:
+    def test_native_path_has_no_intercept_charge(self):
+        def main(ctx):
+            yield from ctx.syscall("close", -1)
+
+        _, world, _ = run_main(main)
+        native_only = world.now
+
+        def configure(task):
+            task.gate.intercepting = True
+
+        _, world2, _ = run_main(main, configure)
+        fast = cycles(DEFAULT_COSTS.intercept.fast_path)
+        assert world2.now - native_only == pytest.approx(fast, abs=300)
+
+    def test_int_site_charges_slow_path(self):
+        def main(ctx):
+            yield from ctx.syscall("close", -1, site="hot")
+
+        def configure_jmp(task):
+            task.gate.intercepting = True
+            task.gate.patch_kinds = {"hot": PATCH_JMP}
+
+        def configure_int(task):
+            task.gate.intercepting = True
+            task.gate.patch_kinds = {"hot": PATCH_INT}
+
+        _, world_jmp, _ = run_main(main, configure_jmp)
+        _, world_int, _ = run_main(main, configure_int)
+        delta = world_int.now - world_jmp.now
+        expected = cycles(DEFAULT_COSTS.intercept.slow_path
+                          - DEFAULT_COSTS.intercept.fast_path)
+        assert delta == pytest.approx(expected, abs=300)
+
+    def test_vdso_calls_use_stub_cost(self):
+        def main(ctx):
+            yield from ctx.time()
+
+        def configure(task):
+            task.gate.intercepting = True
+
+        _, world, task = run_main(main, configure)
+        expected = cycles(DEFAULT_COSTS.intercept.vdso_stub
+                          + DEFAULT_COSTS.syscalls.native("time"))
+        assert world.now == pytest.approx(expected, abs=300)
+
+    def test_installed_table_handles_call(self):
+        seen = []
+
+        def fake_close(task, call):
+            seen.append(call.name)
+            return SysResult(0)
+            yield  # pragma: no cover
+
+        def main(ctx):
+            result = yield from ctx.syscall("close", 5)
+            return result.retval
+
+        def configure(task):
+            task.gate.intercepting = True
+            task.gate.table = {"close": fake_close}
+
+        result, _, _ = run_main(main, configure)
+        assert result == 0 and seen == ["close"]
+
+    def test_default_handler_catches_unlisted_calls(self):
+        def default(task, call):
+            return SysResult(-99)
+            yield  # pragma: no cover
+
+        def main(ctx):
+            result = yield from ctx.syscall("getpid")
+            return result.retval
+
+        def configure(task):
+            task.gate.intercepting = True
+            task.gate.table = {}
+            task.gate.default_handler = default
+
+        result, _, _ = run_main(main, configure)
+        assert result == -99
+
+    def test_syscall_counts_tracked(self):
+        def main(ctx):
+            for _ in range(3):
+                yield from ctx.time()
+            yield from ctx.getpid()
+
+        _, _, task = run_main(main)
+        assert task.gate.counts["time"] == 3
+        assert task.gate.counts["getpid"] == 1
+
+
+class TestContextApi:
+    def test_site_defaults_to_call_name(self):
+        def main(ctx):
+            result = yield from ctx.syscall("getpid")
+            return result
+
+        result, _, _ = run_main(main)
+        assert result.ok
+
+    def test_compute_burns_virtual_time(self):
+        def main(ctx):
+            yield from ctx.compute(1000)
+
+        _, world, _ = run_main(main)
+        assert world.now == cycles(1000)
+
+    def test_unknown_syscall_returns_enosys(self):
+        from repro.kernel.uapi import ENOSYS
+
+        def main(ctx):
+            result = yield from ctx.syscall("not_a_real_call")
+            return result.retval
+
+        result, _, _ = run_main(main)
+        assert result == -ENOSYS
+
+    def test_unimplemented_syscall_returns_enosys(self):
+        from repro.kernel.uapi import ENOSYS
+
+        def main(ctx):
+            result = yield from ctx.syscall("shmget")
+            return result.retval
+
+        result, _, _ = run_main(main)
+        assert result == -ENOSYS
+
+    def test_nanosleep_advances_clock(self):
+        def main(ctx):
+            before = ctx.sim.now
+            yield from ctx.nanosleep(5_000_000)
+            return ctx.sim.now - before
+
+        result, _, _ = run_main(main)
+        assert result >= 5_000_000
+
+
+class TestNetworkModel:
+    def test_bandwidth_delay_scales_with_size(self):
+        from repro.sim.network import Network
+        from repro.sim import Machine, Simulator
+
+        sim = Simulator()
+        a = Machine(sim, name="a")
+        b = Machine(sim, name="b")
+        net = Network(sim)
+        arrivals = {}
+        net.deliver(a, b, 100, lambda: arrivals.setdefault("small",
+                                                           sim.now))
+        net.deliver(a, b, 100_000, lambda: arrivals.setdefault("big",
+                                                               sim.now))
+        sim.run()
+        assert arrivals["big"] > arrivals["small"]
+
+    def test_loopback_is_fast(self):
+        from repro.sim.network import Network
+        from repro.sim import Machine, Simulator
+
+        sim = Simulator()
+        a = Machine(sim, name="a")
+        net = Network(sim)
+        seen = {}
+        net.deliver(a, a, 1_000_000, lambda: seen.setdefault("t",
+                                                             sim.now))
+        sim.run()
+        assert seen["t"] < 10_000  # no bandwidth cap on loopback
+
+    def test_serialized_mode_orders_transmissions(self):
+        from repro.sim.network import Network
+        from repro.sim import Machine, Simulator
+
+        sim = Simulator()
+        a = Machine(sim, name="a")
+        b = Machine(sim, name="b")
+        net = Network(sim)
+        net.serialize = True
+        order = []
+        net.deliver(a, b, 50_000, lambda: order.append("first"))
+        net.deliver(a, b, 10, lambda: order.append("second"))
+        sim.run()
+        # The small message queues behind the big one per direction.
+        assert order == ["first", "second"]
+
+
+class TestWorld:
+    def test_two_machines_exist(self):
+        world = World()
+        assert world.server.name == "server"
+        assert world.client.name == "client"
+
+    def test_filesystems_are_per_machine(self):
+        world = World()
+        world.kernel.fs(world.server).create("/tmp/x", b"server-side")
+        assert world.kernel.fs(world.client).lookup("/tmp/x") is None
+
+    def test_custom_cost_model(self):
+        from repro.costmodel import CostModel, MachineSpec
+
+        costs = CostModel(machine=MachineSpec(logical_cores=2,
+                                              physical_cores=1))
+        world = World(costs=costs)
+        assert world.server.spec.logical_cores == 2

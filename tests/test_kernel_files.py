@@ -1,0 +1,298 @@
+"""Kernel tests: filesystem, descriptors, basic syscalls."""
+
+import pytest
+
+from repro.kernel.uapi import (
+    EBADF,
+    ENOENT,
+    F_GETFD,
+    F_SETFD,
+    FD_CLOEXEC,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SysError,
+)
+from repro.world import World
+
+
+def run_program(main, files=None, world=None):
+    """Run one task to completion; returns (result, world)."""
+    w = world or World()
+    if files:
+        fs = w.kernel.fs(w.server)
+        for path, data in files.items():
+            fs.create(path, data)
+    task = w.spawn(main, name="prog")
+    w.run()
+    thread = task.threads[0]
+    if thread.exception is not None:
+        raise thread.exception
+    return thread.result, w
+
+
+class TestOpenReadWrite:
+    def test_read_existing_file(self):
+        def main(ctx):
+            fd = yield from ctx.open("/tmp/a.txt")
+            data = yield from ctx.read(fd, 100)
+            yield from ctx.close(fd)
+            return data
+
+        result, _ = run_program(main, files={"/tmp/a.txt": b"hello world"})
+        assert result == b"hello world"
+
+    def test_open_missing_file_raises_enoent(self):
+        def main(ctx):
+            yield from ctx.open("/tmp/missing")
+
+        with pytest.raises(SysError) as err:
+            run_program(main)
+        assert err.value.errno == ENOENT
+
+    def test_create_write_read_back(self):
+        def main(ctx):
+            fd = yield from ctx.open("/tmp/new", O_CREAT | O_RDWR)
+            yield from ctx.write(fd, b"abcdef")
+            yield from ctx.lseek(fd, 0)
+            data = yield from ctx.read(fd, 6)
+            yield from ctx.close(fd)
+            return data
+
+        result, _ = run_program(main)
+        assert result == b"abcdef"
+
+    def test_sequential_reads_advance_offset(self):
+        def main(ctx):
+            fd = yield from ctx.open("/tmp/a")
+            first = yield from ctx.read(fd, 3)
+            second = yield from ctx.read(fd, 3)
+            return first, second
+
+        result, _ = run_program(main, files={"/tmp/a": b"abcdef"})
+        assert result == (b"abc", b"def")
+
+    def test_append_mode(self):
+        def main(ctx):
+            fd = yield from ctx.open("/tmp/a", O_WRONLY | O_APPEND)
+            yield from ctx.write(fd, b"XYZ")
+            yield from ctx.close(fd)
+            fd = yield from ctx.open("/tmp/a")
+            return (yield from ctx.read(fd, 100))
+
+        result, _ = run_program(main, files={"/tmp/a": b"abc"})
+        assert result == b"abcXYZ"
+
+    def test_trunc_clears_file(self):
+        def main(ctx):
+            fd = yield from ctx.open("/tmp/a", O_WRONLY | O_TRUNC)
+            yield from ctx.write(fd, b"new")
+            yield from ctx.close(fd)
+            fd = yield from ctx.open("/tmp/a")
+            return (yield from ctx.read(fd, 100))
+
+        result, _ = run_program(main, files={"/tmp/a": b"old content"})
+        assert result == b"new"
+
+    def test_write_to_readonly_fd_fails(self):
+        def main(ctx):
+            fd = yield from ctx.open("/tmp/a", O_RDONLY)
+            yield from ctx.write(fd, b"nope")
+
+        with pytest.raises(SysError) as err:
+            run_program(main, files={"/tmp/a": b"x"})
+        assert err.value.errno == EBADF
+
+    def test_dev_null_swallows_and_eofs(self):
+        def main(ctx):
+            fd = yield from ctx.open("/dev/null", O_RDWR)
+            n = yield from ctx.write(fd, b"x" * 512)
+            data = yield from ctx.read(fd, 512)
+            return n, data
+
+        result, _ = run_program(main)
+        assert result == (512, b"")
+
+    def test_dev_urandom_deterministic_per_seed(self):
+        def main(ctx):
+            fd = yield from ctx.open("/dev/urandom")
+            return (yield from ctx.read(fd, 16))
+
+        first, _ = run_program(main)
+        second, _ = run_program(main)
+        assert first == second  # seeded: reproducible across runs
+        assert len(first) == 16
+
+    def test_pread_does_not_move_offset(self):
+        def main(ctx):
+            fd = yield from ctx.open("/tmp/a")
+            at4 = yield from ctx.pread(fd, 2, 4)
+            seq = yield from ctx.read(fd, 2)
+            return at4, seq
+
+        result, _ = run_program(main, files={"/tmp/a": b"0123456789"})
+        assert result == (b"45", b"01")
+
+
+class TestDescriptors:
+    def test_close_then_use_is_ebadf(self):
+        def main(ctx):
+            fd = yield from ctx.open("/dev/null", O_RDWR)
+            yield from ctx.close(fd)
+            yield from ctx.write(fd, b"x")
+
+        with pytest.raises(SysError) as err:
+            run_program(main)
+        assert err.value.errno == EBADF
+
+    def test_double_close_returns_ebadf(self):
+        def main(ctx):
+            fd = yield from ctx.open("/dev/null")
+            first = yield from ctx.close(fd)
+            second = yield from ctx.close(fd)
+            return first, second
+
+        result, _ = run_program(main)
+        assert result == (0, -EBADF)
+
+    def test_dup_shares_offset(self):
+        def main(ctx):
+            fd = yield from ctx.open("/tmp/a")
+            result = yield from ctx.syscall("dup", fd)
+            dup_fd = result.retval
+            yield from ctx.read(fd, 3)
+            return (yield from ctx.read(dup_fd, 3))
+
+        result, _ = run_program(main, files={"/tmp/a": b"abcdef"})
+        assert result == b"def"  # offset shared through the description
+
+    def test_fd_numbers_are_reused_lowest_first(self):
+        def main(ctx):
+            a = yield from ctx.open("/dev/null")
+            b = yield from ctx.open("/dev/zero")
+            yield from ctx.close(a)
+            c = yield from ctx.open("/dev/urandom")
+            return a, b, c
+
+        result, _ = run_program(main)
+        a, b, c = result
+        assert c == a  # lowest free fd reused
+
+    def test_cloexec_flag_via_fcntl(self):
+        def main(ctx):
+            fd = yield from ctx.open("/dev/null")
+            yield from ctx.fcntl(fd, F_SETFD, FD_CLOEXEC)
+            return (yield from ctx.fcntl(fd, F_GETFD))
+
+        result, _ = run_program(main)
+        assert result == FD_CLOEXEC
+
+
+class TestPaths:
+    def test_unlink_removes_file(self):
+        def main(ctx):
+            yield from ctx.unlink("/tmp/a")
+            return (yield from ctx.access("/tmp/a"))
+
+        result, _ = run_program(main, files={"/tmp/a": b"x"})
+        assert result == -ENOENT
+
+    def test_stat_reports_size(self):
+        def main(ctx):
+            result = yield from ctx.stat("/tmp/a")
+            return result
+
+        result, _ = run_program(main, files={"/tmp/a": b"12345"})
+        import struct
+
+        kind, size = struct.unpack("<qq", result.data)
+        assert size == 5
+
+    def test_rename(self):
+        def main(ctx):
+            yield from ctx.syscall("rename", "/tmp/a", "/tmp/b")
+            fd = yield from ctx.open("/tmp/b")
+            return (yield from ctx.read(fd, 10))
+
+        result, _ = run_program(main, files={"/tmp/a": b"moved"})
+        assert result == b"moved"
+
+    def test_sendfile_copies_between_fds(self):
+        def main(ctx):
+            src = yield from ctx.open("/tmp/a")
+            dst = yield from ctx.open("/tmp/b", O_CREAT | O_RDWR)
+            n = yield from ctx.sendfile(dst, src, 5)
+            yield from ctx.lseek(dst, 0)
+            return n, (yield from ctx.read(dst, 10))
+
+        result, _ = run_program(main, files={"/tmp/a": b"hello"})
+        assert result == (5, b"hello")
+
+
+class TestTimeAndIdentity:
+    def test_time_advances_with_virtual_clock(self):
+        def main(ctx):
+            before = yield from ctx.time()
+            yield from ctx.nanosleep(2_000_000_000_000)  # 2 s
+            after = yield from ctx.time()
+            return after - before
+
+        result, _ = run_program(main)
+        assert result == 2
+
+    def test_gettimeofday_microseconds(self):
+        def main(ctx):
+            sec, usec = yield from ctx.gettimeofday()
+            return sec, usec
+
+        result, _ = run_program(main)
+        assert result[0] >= 1_426_291_200  # the paper's epoch
+        assert 0 <= result[1] < 1_000_000
+
+    def test_identity_calls(self):
+        def main(ctx):
+            uid = yield from ctx.getuid()
+            euid = yield from ctx.geteuid()
+            gid = yield from ctx.getgid()
+            egid = yield from ctx.getegid()
+            setugid = yield from ctx.issetugid()
+            return uid, euid, gid, egid, setugid
+
+        result, _ = run_program(main)
+        assert result == (1000, 1000, 1000, 1000, 0)
+
+    def test_getrandom_is_deterministic(self):
+        def main(ctx):
+            return (yield from ctx.getrandom(8))
+
+        first, _ = run_program(main)
+        second, _ = run_program(main)
+        assert first == second and len(first) == 8
+
+
+class TestCosts:
+    def test_syscalls_consume_calibrated_time(self):
+        from repro.costmodel import DEFAULT_COSTS, cycles
+
+        def main(ctx):
+            yield from ctx.syscall("close", -1)
+
+        w = World()
+        task = w.spawn(main, name="t")
+        w.run()
+        # close(-1) should cost about its native price (1261 cycles).
+        assert abs(w.now - cycles(1261)) < cycles(50)
+
+    def test_vdso_time_is_cheap(self):
+        def main(ctx):
+            yield from ctx.time()
+
+        w = World()
+        w.spawn(main, name="t")
+        w.run()
+        from repro.costmodel import cycles
+
+        assert w.now <= cycles(60)  # 49-cycle vDSO call

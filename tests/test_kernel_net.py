@@ -1,0 +1,407 @@
+"""Kernel tests: sockets, pipes, epoll, processes, threads, signals."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.kernel.uapi import (
+    EAGAIN,
+    ECONNREFUSED,
+    EPIPE,
+    EPOLL_CTL_ADD,
+    EPOLL_CTL_DEL,
+    EPOLLIN,
+    O_NONBLOCK,
+    SIGSEGV,
+    SIGTERM,
+    Segfault,
+    SysError,
+)
+from repro.world import World
+
+
+def finish(thread):
+    if thread.exception is not None:
+        raise thread.exception
+    return thread.result
+
+
+class TestSockets:
+    def test_connect_refused_without_listener(self):
+        def main(ctx):
+            s = yield from ctx.socket()
+            result = yield from ctx.syscall("connect", s, ("server", 9999))
+            return result.retval
+
+        w = World()
+        task = w.spawn(main, name="c", machine=w.client)
+        w.run()
+        assert finish(task.threads[0]) == -ECONNREFUSED
+
+    def test_echo_roundtrip_same_machine(self):
+        w = World()
+
+        def server(ctx):
+            s = yield from ctx.socket()
+            yield from ctx.bind(s, ("server", 7))
+            yield from ctx.listen(s)
+            c = yield from ctx.accept(s)
+            data = yield from ctx.recv(c, 100)
+            yield from ctx.send(c, data.upper())
+            yield from ctx.close(c)
+            yield from ctx.close(s)
+
+        def client(ctx):
+            s = yield from ctx.socket()
+            yield from ctx.connect(s, ("server", 7))
+            yield from ctx.send(s, b"hello")
+            reply = yield from ctx.recv(s, 100)
+            yield from ctx.close(s)
+            return reply
+
+        w.spawn(server, name="s")
+        task = w.spawn(client, name="c")
+        w.run()
+        assert finish(task.threads[0]) == b"HELLO"
+
+    def test_cross_machine_latency_visible(self):
+        w = World()
+        stamps = {}
+
+        def server(ctx):
+            s = yield from ctx.socket()
+            yield from ctx.bind(s, ("server", 7))
+            yield from ctx.listen(s)
+            c = yield from ctx.accept(s)
+            yield from ctx.recv(c, 100)
+            yield from ctx.send(c, b"pong")
+
+        def client(ctx):
+            s = yield from ctx.socket()
+            start = ctx.sim.now
+            yield from ctx.connect(s, ("server", 7))
+            yield from ctx.send(s, b"ping")
+            yield from ctx.recv(s, 100)
+            stamps["rtt"] = ctx.sim.now - start
+
+        w.spawn(server, name="s")
+        w.spawn(client, name="c", machine=w.client)
+        w.run()
+        # At least two round trips across a 30 µs-latency link.
+        assert stamps["rtt"] >= 4 * w.costs.network.latency_ps
+
+    def test_recv_eof_after_peer_close(self):
+        w = World()
+
+        def server(ctx):
+            s = yield from ctx.socket()
+            yield from ctx.bind(s, ("server", 7))
+            yield from ctx.listen(s)
+            c = yield from ctx.accept(s)
+            yield from ctx.close(c)
+
+        def client(ctx):
+            s = yield from ctx.socket()
+            yield from ctx.connect(s, ("server", 7))
+            return (yield from ctx.recv(s, 100))
+
+        w.spawn(server, name="s")
+        task = w.spawn(client, name="c")
+        w.run()
+        assert finish(task.threads[0]) == b""
+
+    def test_send_after_peer_gone_is_epipe(self):
+        w = World()
+
+        def server(ctx):
+            s = yield from ctx.socket()
+            yield from ctx.bind(s, ("server", 7))
+            yield from ctx.listen(s)
+            c = yield from ctx.accept(s)
+            yield from ctx.close(c)
+            yield from ctx.close(s)
+
+        def client(ctx):
+            s = yield from ctx.socket()
+            yield from ctx.connect(s, ("server", 7))
+            data = yield from ctx.recv(s, 10)  # EOF
+            result = yield from ctx.syscall("sendto", s, 1, data=b"x")
+            return data, result.retval
+
+        w.spawn(server, name="s")
+        task = w.spawn(client, name="c")
+        w.run()
+        assert finish(task.threads[0]) == (b"", -EPIPE)
+
+    def test_nonblocking_accept_eagain(self):
+        def main(ctx):
+            s = yield from ctx.socket(flags=O_NONBLOCK)
+            yield from ctx.bind(s, ("server", 7))
+            yield from ctx.listen(s)
+            result = yield from ctx.syscall("accept", s)
+            return result.retval
+
+        w = World()
+        task = w.spawn(main, name="s")
+        w.run()
+        assert finish(task.threads[0]) == -EAGAIN
+
+    def test_socketpair_duplex(self):
+        def main(ctx):
+            a, b = yield from ctx.socketpair()
+            yield from ctx.write(a, b"ping")
+            got = yield from ctx.read(b, 10)
+            yield from ctx.write(b, b"pong")
+            back = yield from ctx.read(a, 10)
+            return got, back
+
+        w = World()
+        task = w.spawn(main, name="p")
+        w.run()
+        assert finish(task.threads[0]) == (b"ping", b"pong")
+
+    def test_pipe_one_way(self):
+        def main(ctx):
+            r, wfd = yield from ctx.pipe()
+            yield from ctx.write(wfd, b"through the pipe")
+            return (yield from ctx.read(r, 100))
+
+        w = World()
+        task = w.spawn(main, name="p")
+        w.run()
+        assert finish(task.threads[0]) == b"through the pipe"
+
+
+class TestEpoll:
+    def test_epoll_wait_timeout_returns_empty(self):
+        def main(ctx):
+            ep = yield from ctx.epoll_create()
+            s = yield from ctx.socket()
+            yield from ctx.bind(s, ("server", 7))
+            yield from ctx.listen(s)
+            yield from ctx.epoll_ctl(ep, EPOLL_CTL_ADD, s, EPOLLIN)
+            events = yield from ctx.epoll_wait(ep, timeout_ms=5)
+            return events
+
+        w = World()
+        task = w.spawn(main, name="p")
+        w.run()
+        assert finish(task.threads[0]) == []
+
+    def test_epoll_del_stops_events(self):
+        w = World()
+
+        def main(ctx):
+            ep = yield from ctx.epoll_create()
+            r, wfd = yield from ctx.pipe()
+            yield from ctx.epoll_ctl(ep, EPOLL_CTL_ADD, r, EPOLLIN)
+            yield from ctx.write(wfd, b"x")
+            first = yield from ctx.epoll_wait(ep, timeout_ms=1)
+            yield from ctx.epoll_ctl(ep, EPOLL_CTL_DEL, r, 0)
+            second = yield from ctx.epoll_wait(ep, timeout_ms=1)
+            return len(first), len(second)
+
+        task = w.spawn(main, name="p")
+        w.run()
+        assert finish(task.threads[0]) == (1, 0)
+
+    def test_epoll_wakes_blocked_waiter(self):
+        w = World()
+        order = []
+
+        def waiter(ctx):
+            ep = yield from ctx.epoll_create()
+            r, wfd = yield from ctx.pipe()
+            shared["r"], shared["w"] = r, wfd
+            yield from ctx.epoll_ctl(ep, EPOLL_CTL_ADD, r, EPOLLIN)
+            shared["task"] = ctx.task
+            events = yield from ctx.epoll_wait(ep)
+            order.append("woke")
+            return events
+
+        shared = {}
+
+        def writer(ctx):
+            yield from ctx.nanosleep(1_000_000_000)  # 1 ms
+            # Write through the same task's pipe description.
+            description = shared["task"].fdtable.get(shared["w"])
+            description.write_bytes(b"data")
+            order.append("wrote")
+
+        task = w.spawn(waiter, name="waiter")
+        w.spawn(writer, name="writer")
+        w.run()
+        events = finish(task.threads[0])
+        assert order == ["wrote", "woke"]
+        assert events and events[0][1] & EPOLLIN
+
+
+class TestProcessesAndThreads:
+    def test_fork_runs_child_and_wait4_reaps(self):
+        w = World()
+        log = []
+
+        def child(ctx):
+            yield from ctx.nanosleep(500_000)
+            log.append("child")
+            yield from ctx.exit(7)
+
+        def parent(ctx):
+            pid = yield from ctx.fork(child)
+            reaped, status = yield from ctx.wait4(pid)
+            log.append("parent")
+            return reaped == pid, status
+
+        task = w.spawn(parent, name="parent")
+        w.run()
+        assert finish(task.threads[0]) == (True, 7)
+        assert log == ["child", "parent"]
+
+    def test_fork_child_shares_descriptions(self):
+        w = World()
+
+        def child(ctx):
+            data = yield from ctx.read(3, 3)  # inherited fd 3
+            shared["child_read"] = data
+            return None
+
+        shared = {}
+
+        def parent(ctx):
+            fd = yield from ctx.open("/tmp/a")
+            assert fd == 3
+            pid = yield from ctx.fork(child)
+            yield from ctx.wait4(pid)
+            # Child advanced the shared offset.
+            return (yield from ctx.read(fd, 3))
+
+        fs_files = {"/tmp/a": b"abcdef"}
+        fs = w.kernel.fs(w.server)
+        for path, data in fs_files.items():
+            fs.create(path, data)
+        task = w.spawn(parent, name="parent")
+        w.run()
+        assert shared["child_read"] == b"abc"
+        assert finish(task.threads[0]) == b"def"
+
+    def test_threads_share_fdtable(self):
+        w = World()
+        shared = {}
+
+        def worker(ctx):
+            shared["data"] = yield from ctx.read(shared["fd"], 5)
+            return None
+
+        def main(ctx):
+            fd = yield from ctx.open("/tmp/a")
+            shared["fd"] = fd
+            tid = yield from ctx.spawn_thread(worker)
+            yield from ctx.nanosleep(10_000_000)
+            return tid
+
+        w.kernel.fs(w.server).create("/tmp/a", b"words")
+        task = w.spawn(main, name="m")
+        w.run()
+        assert shared["data"] == b"words"
+        assert len(task.threads) == 2
+
+    def test_exit_group_kills_all_threads(self):
+        w = World()
+
+        def worker(ctx):
+            yield from ctx.nanosleep(10_000_000_000_000)  # long sleep
+            return "never"
+
+        def main(ctx):
+            yield from ctx.spawn_thread(worker)
+            yield from ctx.exit(3)
+
+        task = w.spawn(main, name="m")
+        w.run()
+        assert task.exited and task.exit_status == 3
+        assert all(t.done for t in task.threads)
+
+    def test_getpid_differs_between_parent_and_child(self):
+        w = World()
+        pids = {}
+
+        def child(ctx):
+            pids["child"] = yield from ctx.getpid()
+            return None
+
+        def parent(ctx):
+            pids["parent"] = yield from ctx.getpid()
+            pid = yield from ctx.fork(child)
+            yield from ctx.wait4(pid)
+            return pid
+
+        task = w.spawn(parent, name="p")
+        w.run()
+        assert pids["parent"] != pids["child"]
+        assert finish(task.threads[0]) == pids["child"]
+
+
+class TestSignals:
+    def test_sigterm_default_kills(self):
+        w = World()
+
+        def victim(ctx):
+            yield from ctx.nanosleep(10_000_000_000_000)
+            return "survived"
+
+        victim_task = w.spawn(victim, name="victim")
+
+        def killer(ctx):
+            yield from ctx.nanosleep(1_000_000)
+            yield from ctx.kill(victim_task.pid, SIGSEGV)
+            return None
+
+        w.spawn(killer, name="killer")
+        w.run()
+        assert victim_task.exited
+        assert victim_task.exit_status == 128 + SIGSEGV
+
+    def test_registered_handler_intercepts(self):
+        w = World()
+        caught = []
+
+        def victim(ctx):
+            yield from ctx.sigaction(
+                SIGTERM, lambda task, sig: caught.append(sig))
+            yield from ctx.nanosleep(5_000_000)
+            return "survived"
+
+        victim_task = w.spawn(victim, name="victim")
+
+        def killer(ctx):
+            yield from ctx.nanosleep(1_000_000)
+            yield from ctx.kill(victim_task.pid, SIGTERM)
+            return None
+
+        w.spawn(killer, name="killer")
+        w.run()
+        assert caught == [SIGTERM]
+        assert finish(victim_task.threads[0]) == "survived"
+
+    def test_segfault_without_hook_exits_139(self):
+        w = World()
+
+        def crasher(ctx):
+            yield from ctx.compute(100)
+            raise Segfault("null deref")
+
+        task = w.spawn(crasher, name="crash")
+        w.run()
+        assert task.exited and task.exit_status == 139
+
+    def test_segfault_hook_invoked(self):
+        w = World()
+        seen = []
+
+        def crasher(ctx):
+            yield from ctx.compute(100)
+            raise Segfault("bad store")
+
+        task = w.spawn(crasher, name="crash")
+        task.segv_hook = lambda t, fault: seen.append(str(fault))
+        w.run()
+        assert seen == ["bad store"]

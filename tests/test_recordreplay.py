@@ -1,0 +1,150 @@
+"""Tests for the record-replay clients (§5.4) and the log format."""
+
+import pytest
+
+from repro.core import NvxSession, VersionSpec
+from repro.core.events import EV_EXIT, Event, syscall_event
+from repro.errors import RecordReplayError
+from repro.kernel.uapi import O_RDWR, Segfault
+from repro.recordreplay import (
+    Recorder,
+    ReplaySession,
+    decode_records,
+    encode_event,
+)
+from repro.world import World
+
+
+class TestLogFormat:
+    def test_roundtrip_syscall_event(self):
+        event = syscall_event("read", 1, 7, 512, args=(3, 512),
+                              aux=(9,))
+        event.fd_numbers = (4, 5)
+        event.fd_count = 2
+        blob = encode_event(event, b"payload-bytes")
+        [(decoded, payload)] = list(decode_records(blob))
+        assert decoded.name == "read" and decoded.nr == event.nr
+        assert decoded.clock == 7 and decoded.tindex == 1
+        assert decoded.retval == 512
+        assert decoded.args == (3, 512)
+        assert decoded.aux == (9,)
+        assert decoded.fd_numbers == (4, 5)
+        assert payload == b"payload-bytes"
+
+    def test_roundtrip_control_event(self):
+        event = Event(EV_EXIT, -1, "exit", 0, 3, retval=7)
+        [(decoded, payload)] = list(decode_records(encode_event(event)))
+        assert decoded.etype == EV_EXIT and decoded.retval == 7
+        assert payload == b""
+
+    def test_stream_of_records(self):
+        blob = b"".join(
+            encode_event(syscall_event("close", 0, i + 1, 0))
+            for i in range(5))
+        decoded = list(decode_records(blob))
+        assert [e.clock for e, _ in decoded] == [1, 2, 3, 4, 5]
+
+    def test_truncated_log_rejected(self):
+        blob = encode_event(syscall_event("close", 0, 1, 0))
+        with pytest.raises(RecordReplayError):
+            list(decode_records(blob[:-3]))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(RecordReplayError):
+            list(decode_records(b"\x00" * 16))
+
+
+def app(ctx):
+    fd = yield from ctx.open("/tmp/input")
+    data = yield from ctx.read(fd, 32)
+    t = yield from ctx.time()
+    out = yield from ctx.open("/dev/null", O_RDWR)
+    yield from ctx.write(out, data)
+    yield from ctx.close(out)
+    yield from ctx.close(fd)
+    return (data, t)
+
+
+def record_run():
+    world = World()
+    world.kernel.fs(world.server).create("/tmp/input", b"the-input")
+    session = NvxSession(world, [VersionSpec("prod", app)])
+    recorder = Recorder(session, "/var/log.bin")
+    session.start()
+    world.run()
+    return recorder, session
+
+
+class TestRecorder:
+    def test_records_every_event(self):
+        recorder, session = record_run()
+        published = session.root_tuple.ring.stats.published
+        assert recorder.events_recorded == published
+        assert recorder.bytes_written > 0
+
+    def test_payloads_in_log(self):
+        recorder, _ = record_run()
+        payloads = [p for _, p in decode_records(recorder.log_bytes) if p]
+        assert b"the-input" in payloads
+
+    def test_leader_unobstructed(self):
+        recorder, session = record_run()
+        leader = session.variants[0].root_task.threads[0]
+        assert leader.exception is None
+        assert leader.result[0] == b"the-input"
+
+
+class TestReplay:
+    def test_replay_reproduces_results(self):
+        recorder, _ = record_run()
+        world = World()
+        replay = ReplaySession(world, [VersionSpec("candidate", app)],
+                               recorder.log_bytes)
+        replay.start()
+        world.run()
+        thread = replay.variants[0].root_task.threads[0]
+        assert thread.result[0] == b"the-input"
+
+    def test_multi_version_replay_triages_crash(self):
+        def crasher(ctx):
+            fd = yield from ctx.open("/tmp/input")
+            yield from ctx.read(fd, 32)
+            raise Segfault("regression")
+            yield  # pragma: no cover
+
+        recorder, _ = record_run()
+        world = World()
+        replay = ReplaySession(world,
+                               [VersionSpec("good", app),
+                                VersionSpec("bad", crasher)],
+                               recorder.log_bytes)
+        replay.start()
+        world.run()
+        assert replay.crashed == ["v1:bad"]
+        assert replay.variants[0].root_task.threads[0].result[0] == \
+            b"the-input"
+
+    def test_replayed_time_matches_recording(self):
+        recorder, session = record_run()
+        recorded_time = session.variants[0].root_task.threads[0].result[1]
+        world = World()
+        replay = ReplaySession(world, [VersionSpec("candidate", app)],
+                               recorder.log_bytes)
+        replay.start()
+        world.run()
+        assert replay.variants[0].root_task.threads[0].result[1] == \
+            recorded_time
+
+    def test_divergent_candidate_dropped(self):
+        def divergent(ctx):
+            yield from ctx.getuid()
+            return "divergent"
+
+        recorder, _ = record_run()
+        world = World()
+        replay = ReplaySession(world, [VersionSpec("odd", divergent)],
+                               recorder.log_bytes)
+        replay.start()
+        world.run()
+        assert replay.stats.fatal_divergences
+        assert not replay.variants[0].alive
