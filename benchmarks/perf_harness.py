@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Wall-clock performance harness for the simulation substrate.
+
+Two suites:
+
+``substrate``
+    Microbenchmarks of the DES engine hot path — events processed per
+    wall-clock second for (a) raw process churn (Compute/Sleep/Block
+    dispatch) and (b) the leader→followers ring-buffer pump.  Results go
+    to ``benchmarks/BENCH_substrate.json``; ``--check`` re-measures and
+    fails if any workload regressed more than ``--tolerance`` (default
+    30%) against the committed numbers — that is the CI smoke gate.
+
+``sweep``
+    Wall-clock seconds for a representative experiment-sweep slice run
+    through :mod:`repro.experiments.runner`, serial and with ``--jobs``.
+    Results go to ``benchmarks/BENCH_sweep.json``.
+
+Wall-clock only: none of this touches virtual time.  The invariant that
+these optimizations never shift simulated results is enforced
+separately by ``python -m repro sweep --check-reference`` and
+``tests/test_runner.py``.
+
+Usage::
+
+    python benchmarks/perf_harness.py substrate
+    python benchmarks/perf_harness.py substrate --check --tolerance 0.30
+    python benchmarks/perf_harness.py sweep --jobs 2
+    python benchmarks/perf_harness.py all
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+SUBSTRATE_JSON = os.path.join(_REPO_ROOT, "benchmarks",
+                              "BENCH_substrate.json")
+SWEEP_JSON = os.path.join(_REPO_ROOT, "benchmarks", "BENCH_sweep.json")
+
+#: Sweep slice used for the wall-clock benchmark: small enough for CI,
+#: broad enough to exercise servers, failover and the ring ablations.
+SWEEP_SLICE = ("ablations", "failover-5.1", "figure6", "sanitization-5.3")
+SWEEP_SCALE = 0.008
+
+
+# -- substrate workloads ----------------------------------------------------
+
+def engine_churn(procs: int = 20, iters: int = 2000) -> int:
+    """Raw engine throughput: Compute/Sleep/Block dispatch churn.
+
+    Returns the number of simulator events processed.
+    """
+    from repro.sim.core import Block, Compute, Simulator, Sleep
+    from repro.sim.machine import Machine
+
+    sim = Simulator()
+    machine = Machine(sim, name="bench")
+
+    def worker(k):
+        for i in range(iters):
+            yield Compute(100 + (i + k) % 7)
+            if i % 5 == 0:
+                yield Sleep(50)
+            if i % 11 == 0:
+                yield Block(timeout_ps=25)
+
+    for k in range(procs):
+        machine.spawn(worker(k), name=f"w{k}")
+    sim.run()
+    return sim.events_processed
+
+
+def pump_ring(events: int = 3000, consumers: int = 3,
+              capacity: int = 256) -> int:
+    """Leader→followers event pump through the shared ring buffer.
+
+    One producer publishes ``events`` syscall events; ``consumers``
+    spin-waiting followers drain them.  Returns the number of simulator
+    events processed.
+    """
+    from repro.core.events import syscall_event
+    from repro.core.ringbuffer import RingBuffer
+    from repro.costmodel import DEFAULT_COSTS
+    from repro.sim.core import Simulator
+    from repro.sim.machine import Machine
+
+    sim = Simulator()
+    machine = Machine(sim, name="bench")
+    ring = RingBuffer(sim, DEFAULT_COSTS, capacity=capacity)
+    for vid in range(1, consumers + 1):
+        ring.add_consumer(vid)
+
+    def producer():
+        for i in range(events):
+            yield from ring.publish(syscall_event("close", 0, i + 1, 0))
+
+    def consumer(vid):
+        for _ in range(events):
+            while ring.peek(vid) is None:
+                yield from ring.wait_published(
+                    False, lambda: ring.peek(vid) is not None)
+            ring.advance(vid)
+
+    machine.spawn(producer(), name="leader")
+    for vid in range(1, consumers + 1):
+        machine.spawn(consumer(vid), name=f"follower{vid}")
+    sim.run()
+    return sim.events_processed
+
+
+SUBSTRATE_WORKLOADS = {
+    "engine_churn": engine_churn,
+    "pump_ring": pump_ring,
+}
+
+
+def measure_substrate(repeats: int = 3) -> dict:
+    """Best-of-``repeats`` events/sec for every substrate workload."""
+    results = {}
+    for name, workload in SUBSTRATE_WORKLOADS.items():
+        best_rate = 0.0
+        events = 0
+        for _ in range(repeats):
+            started = time.perf_counter()
+            events = workload()
+            elapsed = time.perf_counter() - started
+            best_rate = max(best_rate, events / elapsed)
+        results[name] = {
+            "events": events,
+            "events_per_sec": round(best_rate, 1),
+        }
+    return results
+
+
+# -- sweep wall-clock -------------------------------------------------------
+
+def measure_sweep(jobs: int) -> dict:
+    from repro.experiments import runner
+
+    results = {}
+    for label, n in (("serial", 1), (f"jobs{jobs}", jobs)):
+        if label in results:
+            continue
+        started = time.perf_counter()
+        swept = runner.run_sweep(jobs=n, scale=SWEEP_SCALE,
+                                 experiments=list(SWEEP_SLICE))
+        elapsed = time.perf_counter() - started
+        results[label] = {
+            "jobs": n,
+            "seconds": round(elapsed, 2),
+            "experiments": len(swept),
+        }
+        if jobs <= 1:
+            break
+    return results
+
+
+# -- plumbing ---------------------------------------------------------------
+
+def _meta() -> dict:
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def write_json(path: str, payload: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.relpath(path, _REPO_ROOT)}")
+
+
+def check_substrate(measured: dict, tolerance: float) -> int:
+    """Exit status 1 if any workload regressed beyond ``tolerance``."""
+    try:
+        with open(SUBSTRATE_JSON) as fh:
+            committed = json.load(fh)
+    except FileNotFoundError:
+        print(f"no committed baseline at {SUBSTRATE_JSON}; "
+              f"run without --check first", file=sys.stderr)
+        return 2
+    status = 0
+    for name, entry in committed["workloads"].items():
+        baseline = entry["events_per_sec"]
+        current = measured[name]["events_per_sec"]
+        floor = baseline * (1.0 - tolerance)
+        verdict = "ok" if current >= floor else "REGRESSED"
+        print(f"{name}: {current:.0f} ev/s vs baseline {baseline:.0f} "
+              f"(floor {floor:.0f}) {verdict}")
+        if current < floor:
+            status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("suite", choices=("substrate", "sweep", "all"))
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="substrate: repetitions, best kept")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="sweep: parallel worker count to time")
+    parser.add_argument("--check", action="store_true",
+                        help="substrate: compare against committed "
+                             "BENCH_substrate.json instead of writing")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="substrate --check: allowed fractional "
+                             "events/sec regression (default 0.30)")
+    args = parser.parse_args(argv)
+
+    status = 0
+    if args.suite in ("substrate", "all"):
+        measured = measure_substrate(repeats=args.repeats)
+        for name, entry in measured.items():
+            print(f"{name}: {entry['events_per_sec']:.0f} events/sec "
+                  f"({entry['events']} events)")
+        if args.check:
+            status = check_substrate(measured, args.tolerance)
+        else:
+            write_json(SUBSTRATE_JSON,
+                       {"meta": _meta(), "workloads": measured})
+    if status == 0 and args.suite in ("sweep", "all"):
+        timed = measure_sweep(jobs=args.jobs)
+        for label, entry in timed.items():
+            print(f"sweep[{label}]: {entry['seconds']}s "
+                  f"({entry['experiments']} experiments)")
+        if not args.check:
+            write_json(SWEEP_JSON, {
+                "meta": _meta(),
+                "scale": SWEEP_SCALE,
+                "experiments": list(SWEEP_SLICE),
+                "runs": timed,
+            })
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

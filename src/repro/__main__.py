@@ -6,6 +6,7 @@ Usage::
     python -m repro figure4
     python -m repro figure5 --scale 0.01
     python -m repro all --scale 0.01
+    python -m repro sweep --jobs 4 --scale 0.008 --check-reference
 """
 
 from __future__ import annotations
@@ -20,25 +21,66 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Regenerate the Varan paper's tables and figures")
     parser.add_argument("experiment",
-                        help="experiment id (see 'list'), 'all' or 'list'")
+                        help="experiment id (see 'list'), 'all', 'list' "
+                             "or 'sweep'")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale factor for server benchmarks")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="(sweep) worker processes; 1 = serial")
+    parser.add_argument("--out", default=None,
+                        help="(sweep) write the report to this file "
+                             "instead of stdout")
+    parser.add_argument("--check-reference", action="store_true",
+                        help="(sweep) diff the report against "
+                             "benchmarks/reference_sweep.txt; non-zero "
+                             "exit on mismatch")
     return parser
+
+
+def run_sweep_command(args) -> int:
+    from repro.experiments import runner
+
+    started = time.time()
+    results = runner.run_sweep(jobs=args.jobs, scale=args.scale)
+    report = runner.render_sweep(results, scale=args.scale)
+    elapsed = time.time() - started
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"[sweep written to {args.out} in {elapsed:.1f}s "
+              f"with --jobs {args.jobs}]")
+    else:
+        print(report, end="")
+        print(f"[sweep completed in {elapsed:.1f}s "
+              f"with --jobs {args.jobs}]")
+    if args.check_reference:
+        with open(runner.reference_path()) as fh:
+            reference = fh.read()
+        diffs = runner.compare_reports(report, reference)
+        if diffs:
+            print(f"sweep DIFFERS from reference "
+                  f"({len(diffs)} lines):", file=sys.stderr)
+            for diff in diffs[:20]:
+                print(f"  {diff}", file=sys.stderr)
+            return 1
+        print("sweep matches benchmarks/reference_sweep.txt")
+    return 0
 
 
 def main(argv=None) -> int:
     from repro.experiments.registry import EXPERIMENTS, run_experiment
+    from repro.experiments.runner import SCALED_EXPERIMENTS as scaled
 
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
         return 0
+    if args.experiment == "sweep":
+        return run_sweep_command(args)
 
     chosen = (sorted(EXPERIMENTS) if args.experiment == "all"
               else [args.experiment])
-    scaled = {"figure5", "figure6", "table2", "figure7", "figure8",
-              "sanitization-5.3", "recordreplay-5.4"}
     for experiment_id in chosen:
         if experiment_id not in EXPERIMENTS:
             print(f"unknown experiment {experiment_id!r}; "

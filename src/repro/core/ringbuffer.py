@@ -5,10 +5,16 @@ sequence per consuming variant.  The leader stalls when the slowest
 follower is a full ring behind (backpressure); followers busy-wait for
 new events, falling back to a futex-backed *waitlock* when the wait is
 long or the call is known to block.
+
+Wakeups are predicate-gated (see :meth:`WaitQueue.notify_ready`): a
+publish wakes only sleepers that can actually read something, and an
+advance wakes the producer only once a slot is really free — not every
+queue on every event.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional
 
 from repro.costmodel import CostModel, US_PS, cycles
@@ -24,9 +30,22 @@ DEFAULT_CAPACITY = 256
 #: Busy-wait budget before degrading to the waitlock.
 SPIN_BUDGET_PS = 2 * US_PS
 
+#: Cap on retained log-distance samples (reservoir sampling).  Sampling
+#: used to append one entry per publish forever; long sweeps leaked
+#: memory linearly in event count.
+DISTANCE_RESERVOIR_CAP = 4096
+
+#: Fixed seed so reservoir decisions — and therefore
+#: :meth:`RingStats.median_distance` — are deterministic run to run.
+_RESERVOIR_SEED = 0x5A5A
+
 
 class RingStats:
     """Counters a ring keeps for the experiments."""
+
+    __slots__ = ("published", "consumed", "producer_stalls", "stall_ps",
+                 "waitlock_sleeps", "spin_waits", "distance_samples",
+                 "distances_seen", "_reservoir_rng")
 
     def __init__(self) -> None:
         self.published = 0
@@ -36,8 +55,23 @@ class RingStats:
         self.waitlock_sleeps = 0
         self.spin_waits = 0
         #: Log-distance samples (head - cursor) at publish time, used by
-        #: the live-sanitization experiment (§5.3).
+        #: the live-sanitization experiment (§5.3).  Bounded: once
+        #: :data:`DISTANCE_RESERVOIR_CAP` samples are held, reservoir
+        #: sampling (Algorithm R, seeded) keeps a uniform subset.
         self.distance_samples: List[int] = []
+        self.distances_seen = 0
+        self._reservoir_rng = random.Random(_RESERVOIR_SEED)
+
+    def record_distance(self, distance: int) -> None:
+        """Admit one log-distance observation into the bounded reservoir."""
+        self.distances_seen += 1
+        samples = self.distance_samples
+        if len(samples) < DISTANCE_RESERVOIR_CAP:
+            samples.append(distance)
+            return
+        slot = self._reservoir_rng.randrange(self.distances_seen)
+        if slot < DISTANCE_RESERVOIR_CAP:
+            samples[slot] = distance
 
     def median_distance(self) -> int:
         if not self.distance_samples:
@@ -48,6 +82,12 @@ class RingStats:
 
 class RingBuffer:
     """One ring per process tuple (§3.3.3)."""
+
+    __slots__ = ("sim", "costs", "capacity", "name", "slots", "head",
+                 "cursors", "not_full", "published", "advanced", "stats",
+                 "sample_distances", "_sleepers", "_not_full_ready",
+                 "_ps_full_check", "_ps_publish", "_ps_waitlock_wake",
+                 "_ps_waitlock_sleep", "_ps_spin_check")
 
     def __init__(self, sim: Simulator, costs: CostModel,
                  capacity: int = DEFAULT_CAPACITY,
@@ -69,6 +109,17 @@ class RingBuffer:
         #: Followers currently parked on the futex-backed waitlock (as
         #: opposed to busy-waiting): only these cost the leader a wake.
         self._sleepers = 0
+        #: Pre-bound producer progress predicate (one closure per ring,
+        #: not per stall).
+        self._not_full_ready = self._has_space
+        # The stream costs are frozen calibration constants: convert the
+        # hot-path ones to picoseconds once instead of per event.
+        stream = costs.stream
+        self._ps_full_check = cycles(stream.ring_full_check)
+        self._ps_publish = cycles(stream.ring_publish)
+        self._ps_waitlock_wake = cycles(stream.waitlock_wake)
+        self._ps_waitlock_sleep = cycles(stream.waitlock_sleep)
+        self._ps_spin_check = cycles(stream.spin_check)
 
     # -- consumer management ----------------------------------------------
 
@@ -85,13 +136,12 @@ class RingBuffer:
             event = self.slots[seq % self.capacity]
             if event is None or event.payload is None:
                 continue
-            chunk = event.payload
-            chunk.remaining_readers -= 1
-            if chunk.remaining_readers <= 0:
-                chunk.data = b""
-                chunk.bucket.free.append(chunk)
-                chunk.bucket.live_chunks -= 1
-        self.not_full.notify_all()
+            # Same bookkeeping as the consume-side release — shared
+            # helper so the crash path and hot path cannot drift.  No
+            # virtual-time charge: the coordinator reclaims these while
+            # tearing the variant down.
+            event.payload.release_reader()
+        self.not_full.notify_ready()
 
     def min_cursor(self) -> int:
         if not self.cursors:
@@ -107,33 +157,36 @@ class RingBuffer:
         return bool(self.cursors) and (
             self.head - self.min_cursor() >= self.capacity)
 
+    def _has_space(self) -> bool:
+        """Producer progress predicate for :meth:`WaitQueue.notify_ready`."""
+        return not self._full()
+
     def publish(self, event: Event):
         """Generator: leader-side publish with backpressure."""
         stall_started = self.sim.now
         while self._full():
             self.stats.producer_stalls += 1
-            yield Compute(cycles(self.costs.stream.ring_full_check))
+            yield Compute(self._ps_full_check)
             # Re-check after charging: a consumer may have advanced while
             # we were computing, and its notify would be lost if we
             # blocked unconditionally (no yields between check and wait).
             if not self._full():
                 break
-            yield from self.not_full.wait()
+            yield from self.not_full.wait(ready=self._not_full_ready)
         self.stats.stall_ps += self.sim.now - stall_started
         event.seq = self.head
         self.slots[self.head % self.capacity] = event
         self.head += 1
         self.stats.published += 1
         if self.sample_distances and self.cursors:
-            self.stats.distance_samples.append(
-                self.head - self.min_cursor())
-        yield Compute(cycles(self.costs.stream.ring_publish))
+            self.stats.record_distance(self.head - self.min_cursor())
+        yield Compute(self._ps_publish)
         if self._sleepers:
             # Futex wake for waitlocked followers; busy-waiting followers
             # see the cursor move for free (§3.3.1).
-            yield Compute(cycles(self.costs.stream.waitlock_wake))
-        self.published.notify_all()
-        self.advanced.notify_all()
+            yield Compute(self._ps_waitlock_wake)
+        self.published.notify_ready()
+        self.advanced.notify_ready()
         return event.seq
 
     # -- consumer side ---------------------------------------------------------
@@ -156,33 +209,36 @@ class RingBuffer:
         Every cost charge is followed by a fresh ``ready()`` check so a
         publish (or promotion wake) landing mid-charge cannot be lost:
         there is never a yield between the final check and parking on
-        the wait queue.
+        the wait queue.  ``ready`` also rides along as the parked
+        waiter's progress predicate, so notifications that cannot help
+        this consumer do not schedule it.
         """
         if blocking_hint:
             self.stats.waitlock_sleeps += 1
-            yield Compute(cycles(self.costs.stream.waitlock_sleep))
+            yield Compute(self._ps_waitlock_sleep)
             if ready():
                 return
             self._sleepers += 1
             try:
-                yield from self.published.wait()
+                yield from self.published.wait(ready=ready)
             finally:
                 self._sleepers -= 1
             return
         self.stats.spin_waits += 1
-        yield Compute(cycles(self.costs.stream.spin_check))
+        yield Compute(self._ps_spin_check)
         if ready():
             return
         value = yield from self.published.wait(spin=True,
-                                               timeout_ps=SPIN_BUDGET_PS)
+                                               timeout_ps=SPIN_BUDGET_PS,
+                                               ready=ready)
         if value is TIMEOUT:
             self.stats.waitlock_sleeps += 1
-            yield Compute(cycles(self.costs.stream.waitlock_sleep))
+            yield Compute(self._ps_waitlock_sleep)
             if ready():
                 return
             self._sleepers += 1
             try:
-                yield from self.published.wait()
+                yield from self.published.wait(ready=ready)
             finally:
                 self._sleepers -= 1
 
@@ -190,11 +246,12 @@ class RingBuffer:
         """Generator: another thread of this variant must consume first."""
         value = yield from self.advanced.wait(
             spin=not blocking_hint,
-            timeout_ps=None if blocking_hint else SPIN_BUDGET_PS)
+            timeout_ps=None if blocking_hint else SPIN_BUDGET_PS,
+            ready=ready)
         if value is TIMEOUT:
             if ready():
                 return
-            yield from self.advanced.wait()
+            yield from self.advanced.wait(ready=ready)
 
     def advance(self, vid: int) -> None:
         """Move a variant's gating sequence past the current event."""
@@ -202,8 +259,8 @@ class RingBuffer:
             raise NvxError(f"{self.name}: advance by unsubscribed {vid}")
         self.cursors[vid] += 1
         self.stats.consumed += 1
-        self.not_full.notify_all()
-        self.advanced.notify_all()
+        self.not_full.notify_ready()
+        self.advanced.notify_ready()
 
     def wake_all(self) -> None:
         """Failover path: force every waiter to re-examine the world."""

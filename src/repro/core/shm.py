@@ -41,6 +41,23 @@ class SharedChunk:
         self.data = bytes(data)
         self.remaining_readers = readers
 
+    def release_reader(self) -> bool:
+        """Drop one reader's claim; recycle the chunk when the last one
+        goes.  This is the single release path shared by the consume
+        hot path (:meth:`SharedMemoryPool.consume`/``discard_reader``)
+        and the crash path (``RingBuffer.remove_consumer``), so the two
+        cannot drift.  Returns True when the chunk went back on its
+        bucket's free list.
+        """
+        self.remaining_readers -= 1
+        if self.remaining_readers > 0:
+            return False
+        bucket = self.bucket
+        self.data = b""
+        bucket.free.append(self)
+        bucket.live_chunks -= 1
+        return True
+
 
 class Bucket:
     """All chunks of one size class."""
@@ -103,29 +120,24 @@ class SharedMemoryPool:
         yield Compute(cycles(
             self.costs.stream.copy_per_byte * len(chunk.data)))
         data = chunk.data
-        chunk.remaining_readers -= 1
-        if chunk.remaining_readers <= 0:
-            yield from self._free(chunk)
+        if chunk.release_reader():
+            yield from self._charge_free(chunk.bucket)
         return data
 
     def discard_reader(self, chunk: Optional[SharedChunk]):
         """Generator: a consumer unsubscribed without reading."""
         if chunk is None:
             return None
-        chunk.remaining_readers -= 1
-        if chunk.remaining_readers <= 0:
-            yield from self._free(chunk)
+        if chunk.release_reader():
+            yield from self._charge_free(chunk.bucket)
         return None
 
-    def _free(self, chunk: SharedChunk):
-        bucket = chunk.bucket
+    def _charge_free(self, bucket: Bucket):
+        """Generator: charge the lock round-trip and allocator cost for
+        one recycle (the bookkeeping itself lives in
+        :meth:`SharedChunk.release_reader`)."""
         yield from bucket.lock.acquire()
-        try:
-            chunk.data = b""
-            bucket.free.append(chunk)
-            bucket.live_chunks -= 1
-        finally:
-            bucket.lock.release()
+        bucket.lock.release()
         self.frees += 1
         yield Compute(cycles(self.costs.stream.shm_free))
 

@@ -68,11 +68,18 @@ def run_row(name, profile, client, follower_counts, scale):
 
 
 def run(follower_counts=(0, 1, 2, 3, 4, 5, 6),
-        scale: float = 0.05) -> ExperimentResult:
+        scale: float = 0.05, rows=None) -> ExperimentResult:
+    """``rows`` selects a subset of server rows by name (sweep-runner
+    decomposition); None means all of them, in table order."""
+    if rows is None:
+        selected = _ROWS
+    else:
+        by_name = {name: entry for entry in _ROWS for name in (entry[0],)}
+        selected = tuple(by_name[name] for name in rows)
     result = ExperimentResult(
         "figure6", "Prior-work servers under Varan vs follower count",
         paper_reference=PAPER_FIGURE6)
-    for name, profile, client in _ROWS:
+    for name, profile, client in selected:
         overheads = run_row(name, profile, client, follower_counts, scale)
         row = {"server": name}
         for followers in follower_counts:

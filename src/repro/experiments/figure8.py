@@ -8,9 +8,9 @@ from repro.experiments.harness import ExperimentResult
 
 
 def run(follower_counts=(0, 1, 2, 3, 4, 5, 6),
-        scale: float = 0.2) -> ExperimentResult:
+        scale: float = 0.2, benchmarks=CPU2006) -> ExperimentResult:
     result = figure7.run(follower_counts=follower_counts, scale=scale,
-                         benchmarks=CPU2006)
+                         benchmarks=benchmarks)
     result.experiment_id = "figure8"
     result.title = "SPEC CPU2006 overhead vs follower count"
     return result

@@ -1,0 +1,239 @@
+"""Parallel experiment sweeps.
+
+Regenerating the paper's full evaluation is embarrassingly parallel:
+every (figure × app × follower-count) cell builds its own seeded
+:class:`~repro.sim.core.Simulator` from scratch and shares nothing with
+any other cell.  This module decomposes each experiment driver into
+independent *sweep points*, fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor`, and merges the
+fragments back in a fixed canonical order — so a ``--jobs N`` run is
+**bit-for-bit identical** to the serial run (asserted by
+``tests/test_runner.py::test_parallel_sweep_matches_serial``).
+
+Usage::
+
+    python -m repro sweep --jobs 4 --scale 0.008 --out sweep.txt
+    python -m repro sweep --jobs 4 --scale 0.008 --check-reference
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import ExperimentResult
+
+#: Experiments whose drivers accept a workload ``scale`` kwarg (the
+#: same set ``python -m repro all --scale`` forwards to).
+SCALED_EXPERIMENTS = frozenset({
+    "figure5", "figure6", "table2", "figure7", "figure8",
+    "sanitization-5.3", "recordreplay-5.4",
+})
+
+#: The scale the committed ``benchmarks/reference_sweep.txt`` was
+#: generated at.
+REFERENCE_SCALE = 0.008
+
+#: A sweep point: (experiment id, part key or None for the whole
+#: driver, driver kwargs as a tuple of (name, value) pairs).
+#: Deliberately plain tuples/strings so points pickle cheaply into
+#: worker processes.
+SweepPoint = Tuple[str, Optional[str], Tuple[Tuple[str, object], ...]]
+
+
+def _figure5_parts() -> List[str]:
+    from repro.experiments.figure5 import PAPER_FIGURE5
+
+    return sorted(PAPER_FIGURE5)
+
+
+def _figure6_parts() -> List[str]:
+    from repro.experiments.figure6 import _ROWS
+
+    return [name for name, _profile, _client in _ROWS]
+
+
+def _figure7_parts() -> List[str]:
+    from repro.apps.spec import CPU2000
+
+    return [b.name for b in CPU2000]
+
+
+def _figure8_parts() -> List[str]:
+    from repro.apps.spec import CPU2006
+
+    return [b.name for b in CPU2006]
+
+
+def _table2_parts() -> List[str]:
+    from repro.experiments.table2 import _SERVER_ROWS, _SPEC_ROWS
+
+    parts = [f"server:{system}:{name}"
+             for system, name, *_rest in _SERVER_ROWS]
+    parts += [f"spec:{system}:{suite}" for system, suite, _ in _SPEC_ROWS]
+    return parts
+
+
+#: experiment id → callable returning its ordered part keys.  Drivers
+#: absent here run as a single point.
+_PART_MAKERS = {
+    "figure5": _figure5_parts,
+    "figure6": _figure6_parts,
+    "figure7": _figure7_parts,
+    "figure8": _figure8_parts,
+    "table2": _table2_parts,
+}
+
+
+def sweep_points(scale: Optional[float] = None,
+                 experiments: Optional[Sequence[str]] = None
+                 ) -> List[SweepPoint]:
+    """The full sweep as an ordered list of independent points."""
+    from repro.experiments.registry import EXPERIMENTS
+
+    ids = sorted(EXPERIMENTS) if experiments is None else list(experiments)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; "
+                       f"known: {sorted(EXPERIMENTS)}")
+    points: List[SweepPoint] = []
+    for eid in ids:
+        kwargs: Tuple[Tuple[str, object], ...] = ()
+        if scale is not None and eid in SCALED_EXPERIMENTS:
+            kwargs = (("scale", scale),)
+        maker = _PART_MAKERS.get(eid)
+        if maker is None:
+            points.append((eid, None, kwargs))
+        else:
+            points.extend((eid, part, kwargs) for part in maker())
+    return points
+
+
+def run_point(point: SweepPoint) -> ExperimentResult:
+    """Run one sweep point in isolation (top-level: pickles for the pool).
+
+    Every path below constructs a fresh World/Simulator, so the result
+    depends only on the point itself — never on which process ran it or
+    in what order.
+    """
+    eid, part, kwargs_items = point
+    kwargs = dict(kwargs_items)
+    if part is None:
+        from repro.experiments.registry import run_experiment
+
+        return run_experiment(eid, **kwargs)
+    if eid == "figure5":
+        from repro.experiments import figure5
+
+        return figure5.run(servers=(part,), **kwargs)
+    if eid == "figure6":
+        from repro.experiments import figure6
+
+        return figure6.run(rows=(part,), **kwargs)
+    if eid in ("figure7", "figure8"):
+        from repro.apps.spec import ALL_SPEC
+        from repro.experiments import figure7, figure8
+
+        module = figure7 if eid == "figure7" else figure8
+        return module.run(benchmarks=(ALL_SPEC[part],), **kwargs)
+    if eid == "table2":
+        from repro.experiments import table2
+
+        kind, system, name = part.split(":", 2)
+        if kind == "server":
+            return table2.run(rows=((system, name),), suites=(), **kwargs)
+        return table2.run(rows=(), suites=((system, name),), **kwargs)
+    raise KeyError(f"no part decomposition for {eid!r}")
+
+
+def merge_results(points: Sequence[SweepPoint],
+                  fragments: Sequence[ExperimentResult]
+                  ) -> List[ExperimentResult]:
+    """Stitch per-point fragments back into whole experiment results.
+
+    Deterministic by construction: fragments are concatenated in point
+    order, which is fixed by :func:`sweep_points` regardless of which
+    worker finished first.
+    """
+    merged: Dict[str, ExperimentResult] = {}
+    order: List[str] = []
+    for (eid, _part, _kwargs), fragment in zip(points, fragments):
+        if eid not in merged:
+            merged[eid] = fragment
+            order.append(eid)
+        else:
+            merged[eid].rows.extend(fragment.rows)
+    return [merged[eid] for eid in order]
+
+
+def run_sweep(jobs: int = 1, scale: Optional[float] = None,
+              experiments: Optional[Sequence[str]] = None
+              ) -> List[ExperimentResult]:
+    """Run the sweep, fanning points out over ``jobs`` processes.
+
+    ``jobs <= 1`` runs every point in-process; both paths execute the
+    identical point list through :func:`run_point` and merge in the
+    identical order, which is what makes them bit-for-bit comparable.
+    """
+    points = sweep_points(scale=scale, experiments=experiments)
+    return merge_results(points, run_points(points, jobs))
+
+
+def run_points(points: Sequence[SweepPoint],
+               jobs: int) -> List[ExperimentResult]:
+    """Execute a point list serially (``jobs <= 1``) or over a pool."""
+    if jobs <= 1:
+        return [run_point(point) for point in points]
+    workers = min(jobs, len(points)) or 1
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_point, points))
+
+
+def render_sweep(results: Iterable[ExperimentResult],
+                 scale: Optional[float] = None) -> str:
+    """Canonical sweep report: deterministic, no wall-clock timestamps."""
+    header = "# reference sweep"
+    if scale is not None:
+        header += f" (scale={scale})"
+    header += " — regenerate with: python -m repro sweep --scale {}".format(
+        scale if scale is not None else "<scale>")
+    blocks = [header, ""]
+    for result in results:
+        blocks.append(result.render())
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def _normalise(text: str) -> List[str]:
+    """Comparison view of a sweep report: drop comment lines, wall-clock
+    '[x regenerated in Ys]' markers and trailing whitespace."""
+    lines = []
+    for line in text.splitlines():
+        line = line.rstrip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and "regenerated in" in line:
+            continue
+        lines.append(line)
+    return lines
+
+
+def compare_reports(left: str, right: str) -> List[str]:
+    """Differences between two sweep reports, empty when equivalent."""
+    left_lines = _normalise(left)
+    right_lines = _normalise(right)
+    diffs = []
+    for i, (a, b) in enumerate(zip(left_lines, right_lines)):
+        if a != b:
+            diffs.append(f"line {i}: {a!r} != {b!r}")
+    if len(left_lines) != len(right_lines):
+        diffs.append(f"line counts differ: {len(left_lines)} vs "
+                     f"{len(right_lines)}")
+    return diffs
+
+
+def reference_path() -> str:
+    return os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "benchmarks",
+        "reference_sweep.txt")

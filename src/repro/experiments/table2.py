@@ -69,6 +69,13 @@ _SERVER_ROWS = (
 )
 
 
+#: SPEC suite rows: (system, suite, lockstep profile).
+_SPEC_ROWS = (
+    ("mx", "cpu2006", MX_PROFILE),
+    ("orchestra", "cpu2000", ORCHESTRA_PROFILE),
+)
+
+
 def run_server_row(system, name, profile, server, image, client,
                    scale: float = 0.05):
     """One Table 2 server row: prior-system vs Varan overhead."""
@@ -83,12 +90,28 @@ def run_server_row(system, name, profile, server, image, client,
     return overhead(native, prior), overhead(native, varan)
 
 
-def run(scale: float = 0.05, spec_scale: float = 0.2) -> ExperimentResult:
+def run(scale: float = 0.05, spec_scale: float = 0.2,
+        rows=None, suites=None) -> ExperimentResult:
+    """``rows``/``suites`` select subsets of the server rows / SPEC
+    suite rows by (system, name) pairs (sweep-runner decomposition);
+    None means all of them, in table order."""
+    if rows is None:
+        server_rows = _SERVER_ROWS
+    else:
+        wanted = set(rows)
+        server_rows = tuple(entry for entry in _SERVER_ROWS
+                            if (entry[0], entry[1]) in wanted)
+    if suites is None:
+        spec_rows = _SPEC_ROWS
+    else:
+        wanted = set(suites)
+        spec_rows = tuple(entry for entry in _SPEC_ROWS
+                          if (entry[0], entry[1]) in wanted)
     result = ExperimentResult(
         "table2", "Comparison with Mx, Orchestra and Tachyon",
         paper_reference=PAPER_TABLE2,
         notes="two versions, as prior systems support")
-    for system, name, profile, server, image, client in _SERVER_ROWS:
+    for system, name, profile, server, image, client in server_rows:
         prior_oh, varan_oh = run_server_row(system, name, profile,
                                             server, image, client, scale)
         paper_prior, paper_varan = PAPER_TABLE2[(system, name)]
@@ -99,9 +122,7 @@ def run(scale: float = 0.05, spec_scale: float = 0.2) -> ExperimentResult:
         })
 
     # SPEC suite rows: geometric-mean overheads across the suite.
-    for system, suite, profile in (("mx", "cpu2006", MX_PROFILE),
-                                   ("orchestra", "cpu2000",
-                                    ORCHESTRA_PROFILE)):
+    for system, suite, profile in spec_rows:
         prior_oh, varan_oh = spec_overheads(suite, profile,
                                             scale=spec_scale)
         paper_prior, paper_varan = PAPER_TABLE2[(system, f"spec-{suite}")]

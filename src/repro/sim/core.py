@@ -13,13 +13,26 @@ CPU cores are modelled explicitly.  A process occupies one core of its
 (``Block(spin=True)``) keeps it busy — which is how busy-waiting followers
 consume hardware threads, the reason the paper stops at six followers on
 an eight-thread machine.
+
+Hot-path design (this is the substrate every experiment pays for):
+
+* Heap entries are plain ``(time, seq, owner, token, fn, arg)`` tuples.
+  ``seq`` is unique, so heap comparisons never fall past the first two
+  integers and stay at C speed.
+* Cancellation is *lazy*: nothing is ever removed from the heap.  Every
+  cancellable entry carries its ``owner`` (a :class:`Process` or
+  :class:`EventHandle`) and the owner's wake ``token`` captured at
+  schedule time; bumping the owner's token invalidates the entry, and
+  the run loop discards stale entries at pop time — before advancing
+  the clock, exactly like the old explicit-cancel path did.
+* Callbacks are pre-bound methods taking one argument, so scheduling a
+  compute/sleep/timeout allocates one tuple and nothing else (no
+  closures, no handle objects).
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import deque
-from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import DeadlockError, ProcessKilled, SimulationError
@@ -28,7 +41,6 @@ from repro.errors import DeadlockError, ProcessKilled, SimulationError
 TIMEOUT = object()
 
 
-@dataclass(frozen=True)
 class Compute:
     """Occupy a core for ``ps`` picoseconds of computation.
 
@@ -37,18 +49,28 @@ class Compute:
     approximates processor sharing without a preemption quantum.
     """
 
-    ps: int
-    preemptible: bool = True
+    __slots__ = ("ps", "preemptible")
+
+    def __init__(self, ps: int, preemptible: bool = True) -> None:
+        self.ps = ps
+        self.preemptible = preemptible
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Compute(ps={self.ps}, preemptible={self.preemptible})"
 
 
-@dataclass(frozen=True)
 class Sleep:
     """Release the core and resume after ``ps`` picoseconds."""
 
-    ps: int
+    __slots__ = ("ps",)
+
+    def __init__(self, ps: int) -> None:
+        self.ps = ps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sleep(ps={self.ps})"
 
 
-@dataclass(frozen=True)
 class Block:
     """Suspend until another process calls :meth:`Process.wake`.
 
@@ -57,24 +79,47 @@ class Block:
     the process with the :data:`TIMEOUT` sentinel.
     """
 
-    spin: bool = False
-    timeout_ps: Optional[int] = None
+    __slots__ = ("spin", "timeout_ps")
+
+    def __init__(self, spin: bool = False,
+                 timeout_ps: Optional[int] = None) -> None:
+        self.spin = spin
+        self.timeout_ps = timeout_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block(spin={self.spin}, timeout_ps={self.timeout_ps})"
 
 
 class EventHandle:
-    """Cancellable handle for a scheduled callback."""
+    """Cancellable handle for a callback scheduled via :meth:`Simulator.schedule`.
 
-    __slots__ = ("cancelled",)
+    Cancellation is lazy: the heap entry stays put and is discarded at
+    pop time when its captured token no longer matches ``_wake_token``.
+    """
+
+    __slots__ = ("_wake_token",)
 
     def __init__(self) -> None:
-        self.cancelled = False
+        self._wake_token = 0
+
+    @property
+    def cancelled(self) -> bool:
+        return self._wake_token != 0
 
     def cancel(self) -> None:
-        self.cancelled = True
+        self._wake_token = 1
+
+
+def _call0(fn: Callable[[], None]) -> None:
+    """Adapter: dispatch a zero-argument public callback."""
+    fn()
 
 
 class Simulator:
     """Global event loop with a picosecond virtual clock."""
+
+    __slots__ = ("_heap", "_seq", "_now", "_current", "processes",
+                 "events_processed")
 
     def __init__(self) -> None:
         self._heap: List[tuple] = []
@@ -82,6 +127,8 @@ class Simulator:
         self._now = 0
         self._current: Optional["Process"] = None
         self.processes: List["Process"] = []
+        #: Non-stale heap entries dispatched so far (perf-harness metric).
+        self.events_processed = 0
 
     @property
     def now(self) -> int:
@@ -99,29 +146,54 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay_ps}")
         handle = EventHandle()
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay_ps, self._seq, handle, fn))
+        heapq.heappush(
+            self._heap, (self._now + delay_ps, self._seq, handle, 0,
+                         _call0, fn))
         return handle
 
-    def run(self, until_ps: Optional[int] = None, max_events: int = 500_000_000) -> None:
+    def _post(self, delay_ps: int, owner, token: int,
+              fn: Callable[[Any], None], arg: Any) -> None:
+        """Internal allocation-light schedule: one tuple, no handle.
+
+        ``owner`` is any object with a ``_wake_token`` int (a Process or
+        an EventHandle) or None for events that are never cancelled; the
+        entry is stale — skipped without advancing the clock — once the
+        owner's token moves past the captured ``token``.
+        """
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps}")
+        self._seq += 1
+        heapq.heappush(self._heap,
+                       (self._now + delay_ps, self._seq, owner, token,
+                        fn, arg))
+
+    def run(self, until_ps: Optional[int] = None,
+            max_events: int = 500_000_000) -> None:
         """Drain the event heap, optionally stopping at ``until_ps``.
 
         Raises :class:`DeadlockError` if events run out while some process
         is still blocked — unless every remaining process is a daemon.
         """
+        heap = self._heap
+        heappop = heapq.heappop
         events = 0
-        while self._heap:
-            when, _seq, handle, fn = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
+        while heap:
+            entry = heappop(heap)
+            owner = entry[2]
+            if owner is not None and owner._wake_token != entry[3]:
+                continue  # lazily-cancelled: clock must not advance
+            when = entry[0]
             if until_ps is not None and when > until_ps:
                 self._now = until_ps
-                heapq.heappush(self._heap, (when, _seq, handle, fn))
+                heapq.heappush(heap, entry)
                 return
             self._now = when
-            fn()
+            entry[4](entry[5])
             events += 1
             if events >= max_events:
+                self.events_processed += events
                 raise SimulationError(f"exceeded max_events={max_events}")
+        self.events_processed += events
         stuck = [p for p in self.processes
                  if not p.done and not p.daemon and p.state != NEW]
         if stuck:
@@ -154,6 +226,12 @@ class Process:
     values passed to :meth:`wake` (or :data:`TIMEOUT`).
     """
 
+    __slots__ = ("machine", "sim", "gen", "name", "daemon", "state",
+                 "result", "exception", "cpu_ps", "_done_callbacks",
+                 "_wake_token", "_resume_value", "_resume_throw",
+                 "_cb_after_compute", "_cb_after_sleep", "_cb_on_timeout",
+                 "_cb_spin_resume", "_cb_granted_core", "__weakref__")
+
     def __init__(self, machine, gen: Generator, name: str = "proc",
                  daemon: bool = False) -> None:
         self.machine = machine
@@ -166,9 +244,18 @@ class Process:
         self.exception: Optional[BaseException] = None
         self.cpu_ps = 0  # accumulated compute time, for utilisation stats
         self._done_callbacks: List[Callable[["Process"], None]] = []
+        #: Monotonic staleness token: every wake/timeout/interrupt bumps
+        #: it, lazily invalidating all outstanding heap entries.
         self._wake_token = 0
-        self._timeout_handle: Optional[EventHandle] = None
-        self._pending_handle: Optional[EventHandle] = None
+        self._resume_value: Any = None
+        self._resume_throw: Optional[BaseException] = None
+        # Pre-bound callbacks: binding once here keeps the per-event
+        # schedule path free of bound-method allocation.
+        self._cb_after_compute = self._after_compute
+        self._cb_after_sleep = self._after_sleep
+        self._cb_on_timeout = self._on_timeout
+        self._cb_spin_resume = self._spin_resume
+        self._cb_granted_core = self._granted_core
         self.sim.processes.append(self)
 
     # -- public API ---------------------------------------------------
@@ -191,7 +278,7 @@ class Process:
 
     def on_done(self, fn: Callable[["Process"], None]) -> None:
         """Register a callback fired (once) when the process finishes."""
-        if self.done:
+        if self.state == DONE:
             fn(self)
         else:
             self._done_callbacks.append(fn)
@@ -203,20 +290,18 @@ class Process:
         it already timed out), in which case the caller should pick a
         different waiter.
         """
-        if self.state == SPINNING:
-            self._cancel_timeout()
-            self._wake_token += 1
+        state = self.state
+        if state == SPINNING:
+            self._wake_token += 1  # invalidates the pending timeout
             # Resume on a fresh event: waking synchronously would let the
             # spinner's continuation run inside the waker's stack (and,
             # if it re-parks on the same queue, livelock a notify_all).
             self.state = RUNNING
-            token = self._wake_token
-            self._pending_handle = self.sim.schedule(
-                0, lambda: self._spin_resume(token, value))
+            self.sim._post(0, self, self._wake_token,
+                           self._cb_spin_resume, value)
             return True
-        if self.state == BLOCKED:
-            self._cancel_timeout()
-            self._wake_token += 1
+        if state == BLOCKED:
+            self._wake_token += 1  # invalidates the pending timeout
             self.state = READY
             self._resume_value = value
             self.machine.request_core(self)
@@ -237,11 +322,8 @@ class Process:
             self.gen.close()
             self._fire_done()
             return True
-        self._cancel_timeout()
+        # One bump lazily cancels every outstanding completion/timeout.
         self._wake_token += 1
-        if self._pending_handle is not None:
-            self._pending_handle.cancel()
-            self._pending_handle = None
         if self.state in (RUNNING, SPINNING):
             self.state = RUNNING
             self._step(None, throw=exc)
@@ -273,10 +355,7 @@ class Process:
 
     # -- engine internals ----------------------------------------------
 
-    _resume_value: Any = None
-    _resume_throw: Optional[BaseException] = None
-
-    def _granted_core(self) -> None:
+    def _granted_core(self, _arg: Any = None) -> None:
         """Called by the machine when this process receives a core."""
         self.state = RUNNING
         throw, self._resume_throw = self._resume_throw, None
@@ -284,8 +363,9 @@ class Process:
         self._step(value, throw=throw)
 
     def _step(self, value: Any, throw: Optional[BaseException] = None) -> None:
-        prev = self.sim._current
-        self.sim._current = self
+        sim = self.sim
+        prev = sim._current
+        sim._current = self
         try:
             if throw is not None:
                 cmd = self.gen.throw(throw)
@@ -301,22 +381,42 @@ class Process:
             self._finish(exception=exc)
             return
         finally:
-            self.sim._current = prev
+            sim._current = prev
         self._dispatch(cmd)
 
     def _dispatch(self, cmd: Any) -> None:
-        if isinstance(cmd, Compute):
-            self.cpu_ps += cmd.ps
-            token = self._wake_token
-            handle = self.sim.schedule(
-                cmd.ps, lambda: self._after_compute(token, cmd.preemptible))
-            self._pending_handle = handle
-        elif isinstance(cmd, Sleep):
+        cls = cmd.__class__
+        if cls is Compute:
+            ps = cmd.ps
+            self.cpu_ps += ps
+            self.sim._post(ps, self, self._wake_token,
+                           self._cb_after_compute, cmd.preemptible)
+        elif cls is Block:
+            if cmd.spin:
+                self.state = SPINNING
+            else:
+                self.state = BLOCKED
+                self.machine.release_core(self)
+            if cmd.timeout_ps is not None:
+                self.sim._post(cmd.timeout_ps, self, self._wake_token,
+                               self._cb_on_timeout, None)
+        elif cls is Sleep:
             self.state = SLEEPING
             self.machine.release_core(self)
-            token = self._wake_token
-            self._pending_handle = self.sim.schedule(
-                cmd.ps, lambda: self._after_sleep(token))
+            self.sim._post(cmd.ps, self, self._wake_token,
+                           self._cb_after_sleep, None)
+        elif isinstance(cmd, (Compute, Sleep, Block)):  # subclassed command
+            self._dispatch_slow(cmd)
+        else:
+            self._finish(exception=SimulationError(
+                f"{self.name} yielded unknown command {cmd!r}"))
+
+    def _dispatch_slow(self, cmd: Any) -> None:
+        """Subclass-tolerant fallback for the exact-type fast path."""
+        if isinstance(cmd, Compute):
+            self.cpu_ps += cmd.ps
+            self.sim._post(cmd.ps, self, self._wake_token,
+                           self._cb_after_compute, cmd.preemptible)
         elif isinstance(cmd, Block):
             if cmd.spin:
                 self.state = SPINNING
@@ -324,23 +424,22 @@ class Process:
                 self.state = BLOCKED
                 self.machine.release_core(self)
             if cmd.timeout_ps is not None:
-                token = self._wake_token
-                self._timeout_handle = self.sim.schedule(
-                    cmd.timeout_ps, lambda: self._on_timeout(token))
+                self.sim._post(cmd.timeout_ps, self, self._wake_token,
+                               self._cb_on_timeout, None)
         else:
-            self._finish(exception=SimulationError(
-                f"{self.name} yielded unknown command {cmd!r}"))
+            self.state = SLEEPING
+            self.machine.release_core(self)
+            self.sim._post(cmd.ps, self, self._wake_token,
+                           self._cb_after_sleep, None)
 
-    def _spin_resume(self, token: int, value: Any) -> None:
-        if token != self._wake_token or self.state != RUNNING:
+    def _spin_resume(self, value: Any) -> None:
+        if self.state != RUNNING:
             return
-        self._pending_handle = None
         self._step(value)
 
-    def _after_compute(self, token: int, preemptible: bool) -> None:
-        if token != self._wake_token or self.state != RUNNING:
+    def _after_compute(self, preemptible: bool) -> None:
+        if self.state != RUNNING:
             return
-        self._pending_handle = None
         if preemptible and self.machine.has_core_waiters():
             # Cooperative round-robin: give the core up and requeue.
             self.state = READY
@@ -349,31 +448,23 @@ class Process:
         else:
             self._step(None)
 
-    def _after_sleep(self, token: int) -> None:
-        if token != self._wake_token or self.state != SLEEPING:
+    def _after_sleep(self, _arg: Any = None) -> None:
+        if self.state != SLEEPING:
             return
-        self._pending_handle = None
         self.state = READY
         self.machine.request_core(self)
 
-    def _on_timeout(self, token: int) -> None:
-        if token != self._wake_token:
-            return
-        self._timeout_handle = None
-        if self.state == SPINNING:
+    def _on_timeout(self, _arg: Any = None) -> None:
+        state = self.state
+        if state == SPINNING:
             self._wake_token += 1
             self.state = RUNNING
             self._step(TIMEOUT)
-        elif self.state == BLOCKED:
+        elif state == BLOCKED:
             self._wake_token += 1
             self.state = READY
             self._resume_value = TIMEOUT
             self.machine.request_core(self)
-
-    def _cancel_timeout(self) -> None:
-        if self._timeout_handle is not None:
-            self._timeout_handle.cancel()
-            self._timeout_handle = None
 
     def _finish(self, result: Any = None,
                 exception: Optional[BaseException] = None) -> None:
@@ -381,7 +472,7 @@ class Process:
         self.state = DONE
         self.result = result
         self.exception = exception
-        self._cancel_timeout()
+        self._wake_token += 1  # lazily cancel any outstanding timeout
         if had_core:
             self.machine.release_core(self)
         self._fire_done()

@@ -19,6 +19,8 @@ class Machine:
     (see :mod:`repro.apps.spec`).
     """
 
+    __slots__ = ("sim", "spec", "name", "free_cores", "_ready")
+
     def __init__(self, sim: Simulator, spec: Optional[MachineSpec] = None,
                  name: str = "machine") -> None:
         self.sim = sim
@@ -41,14 +43,16 @@ class Machine:
         if self.free_cores > 0:
             self.free_cores -= 1
             # Grant on a fresh event so the caller's stack unwinds first.
-            self.sim.schedule(0, proc._granted_core)
+            # Grants are never cancelled (interrupting a READY process
+            # reuses its grant to deliver the exception), hence no owner.
+            self.sim._post(0, None, 0, proc._cb_granted_core, None)
         else:
             self._ready.append(proc)
 
     def release_core(self, proc: Process) -> None:
         if self._ready:
             nxt = self._ready.popleft()
-            self.sim.schedule(0, nxt._granted_core)
+            self.sim._post(0, None, 0, nxt._cb_granted_core, None)
         else:
             self.free_cores += 1
             if self.free_cores > self.spec.logical_cores:

@@ -2,49 +2,76 @@
 
 All primitives expose *generator* methods intended to be driven with
 ``yield from`` inside a simulated process.
+
+Wait queues support *predicate-gated* wakeups: a waiter may park
+together with a ``ready`` callable, and :meth:`WaitQueue.notify_ready`
+wakes only the waiters whose predicate holds — sleepers that could not
+make progress are left parked instead of being scheduled, run, and
+re-parked.  This is what keeps the ring buffer's publish/advance paths
+from waking three whole queues per event.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Callable, Deque, Optional
 
 from repro.errors import SimulationError
 from repro.sim.core import TIMEOUT, Block, Process, Simulator
 
 
+class _Waiter:
+    """One parked process plus its (optional) progress predicate."""
+
+    __slots__ = ("proc", "ready")
+
+    def __init__(self, proc: Process,
+                 ready: Optional[Callable[[], bool]]) -> None:
+        self.proc = proc
+        self.ready = ready
+
+
 class WaitQueue:
     """FIFO queue of processes waiting for a notification."""
 
+    __slots__ = ("sim", "_waiters")
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self._waiters: Deque[Process] = deque()
+        self._waiters: Deque[_Waiter] = deque()
 
     def __len__(self) -> int:
         return len(self._waiters)
 
-    def wait(self, spin: bool = False, timeout_ps: Optional[int] = None):
+    def wait(self, spin: bool = False, timeout_ps: Optional[int] = None,
+             ready: Optional[Callable[[], bool]] = None):
         """Generator: park the calling process until notified.
+
+        ``ready`` is the waiter's progress predicate, consulted by
+        :meth:`notify_ready`; waiters parked without one are woken by
+        every notification, as before.
 
         Returns the value passed to :meth:`notify`, or :data:`TIMEOUT`.
         """
         me = self.sim.current_process
         if me is None:
             raise SimulationError("wait() called outside a process")
-        self._waiters.append(me)
+        entry = _Waiter(me, ready)
+        self._waiters.append(entry)
         value = yield Block(spin=spin, timeout_ps=timeout_ps)
         if value is TIMEOUT:
             try:
-                self._waiters.remove(me)
+                self._waiters.remove(entry)
             except ValueError:
                 pass
         return value
 
     def notify(self, value: Any = None) -> bool:
         """Wake the longest-waiting process. Returns True if one woke."""
-        while self._waiters:
-            proc = self._waiters.popleft()
-            if proc.wake(value):
+        waiters = self._waiters
+        while waiters:
+            entry = waiters.popleft()
+            if entry.proc.wake(value):
                 return True
         return False
 
@@ -58,22 +85,49 @@ class WaitQueue:
         waiters = list(self._waiters)
         self._waiters.clear()
         woken = 0
-        for proc in waiters:
-            if proc.wake(value):
+        for entry in waiters:
+            if entry.proc.wake(value):
                 woken += 1
+        return woken
+
+    def notify_ready(self, value: Any = None) -> int:
+        """Wake every parked waiter whose predicate currently holds.
+
+        Waiters without a predicate are treated as always-ready.  The
+        others stay parked — they are *not* scheduled at all, which is
+        the point: a notification they cannot act on would only burn a
+        wakeup, a core grant and a re-park.  Snapshot semantics match
+        :meth:`notify_all`.
+        """
+        waiters = self._waiters
+        if not waiters:
+            return 0
+        kept: Deque[_Waiter] = deque()
+        woken = 0
+        for entry in waiters:
+            ready = entry.ready
+            if ready is None or ready():
+                if entry.proc.wake(value):
+                    woken += 1
+                # else: stale entry (already timed out) — drop it
+            else:
+                kept.append(entry)
+        self._waiters = kept
         return woken
 
     def discard(self, proc: Process) -> None:
         """Remove a process from the queue (after interrupt)."""
-        try:
-            self._waiters.remove(proc)
-        except ValueError:
-            pass
+        for entry in self._waiters:
+            if entry.proc is proc:
+                self._waiters.remove(entry)
+                return
 
 
 class Mutex:
     """FIFO mutual exclusion, the serialisation primitive for the
     centralized lockstep monitor baseline."""
+
+    __slots__ = ("sim", "_locked", "_queue", "owner")
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
@@ -106,6 +160,8 @@ class Mutex:
 class Semaphore:
     """Counting semaphore with FIFO wakeups."""
 
+    __slots__ = ("sim", "_value", "_queue")
+
     def __init__(self, sim: Simulator, value: int = 1) -> None:
         if value < 0:
             raise SimulationError("semaphore value must be non-negative")
@@ -135,6 +191,8 @@ class Barrier:
     The lockstep monitor uses one to force every version to reach the
     same syscall before any proceeds.
     """
+
+    __slots__ = ("sim", "parties", "_count", "_queue", "generation")
 
     def __init__(self, sim: Simulator, parties: int) -> None:
         if parties < 1:

@@ -1,0 +1,126 @@
+"""Sweep-runner determinism and engine ordering invariants.
+
+``test_parallel_matches_serial`` is the invariant named in DESIGN.md §5:
+wall-clock parallelism (and any other wall-clock optimization) must
+never change virtual-time results — a ``--jobs N`` sweep is bit-for-bit
+identical to the serial one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import figure5, runner
+from repro.sim.core import Simulator
+
+#: A deliberately small Figure 5 slice: two servers, two follower
+#: counts, tiny workload scale — seconds, not minutes.
+_SLICE_SERVERS = ("beanstalkd", "memcached")
+_SLICE_KWARGS = (("follower_counts", (0, 1)), ("scale", 0.002))
+
+
+def _slice_points():
+    return [("figure5", server, _SLICE_KWARGS)
+            for server in _SLICE_SERVERS]
+
+
+class TestSweepRunner:
+    def test_parallel_matches_serial(self):
+        points = _slice_points()
+        serial = runner.merge_results(points, runner.run_points(points, 1))
+        parallel = runner.merge_results(points, runner.run_points(points, 2))
+        assert runner.render_sweep(serial) == runner.render_sweep(parallel)
+
+    def test_decomposition_matches_whole_driver(self):
+        points = _slice_points()
+        merged = runner.merge_results(points, runner.run_points(points, 1))
+        whole = figure5.run(servers=_SLICE_SERVERS,
+                            **dict(_SLICE_KWARGS))
+        assert merged[0].render() == whole.render()
+
+    def test_full_sweep_covers_every_experiment(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        points = runner.sweep_points(scale=0.008)
+        assert {eid for eid, _part, _kw in points} == set(EXPERIMENTS)
+
+    def test_scale_only_reaches_scaled_experiments(self):
+        points = runner.sweep_points(scale=0.01)
+        for eid, _part, kwargs in points:
+            expects_scale = eid in runner.SCALED_EXPERIMENTS
+            assert (("scale", 0.01) in kwargs) == expects_scale
+
+    def test_compare_reports_ignores_wallclock_lines(self):
+        left = "row 1\n[figure4 regenerated in 1.2s]\n# comment\n"
+        right = "row 1\n[figure4 regenerated in 99.9s]\n"
+        assert runner.compare_reports(left, right) == []
+        assert runner.compare_reports("row 1\n", "row 2\n")
+
+
+class TestEngineOrdering:
+    """The optimized Simulator preserves (time, seq) delivery order
+    under interleaved schedule/cancel — the invariant the tuple-heap +
+    lazy-cancellation rewrite must not break."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 1000),   # delay_ps
+                  st.booleans(),          # cancel an earlier handle?
+                  st.integers(0, 31)),    # which earlier handle
+        min_size=1, max_size=40))
+    def test_schedule_cancel_preserves_time_seq_order(self, ops):
+        sim = Simulator()
+        fired = []
+        handles = []
+        cancelled = set()
+        for i, (delay, do_cancel, target) in enumerate(ops):
+            handles.append(
+                (sim.schedule(delay, lambda i=i: fired.append(
+                    (sim.now, i))), delay))
+            if do_cancel:
+                victim = target % len(handles)
+                handles[victim][0].cancel()
+                cancelled.add(victim)
+        sim.run()
+
+        fired_ids = [i for _now, i in fired]
+        # Cancelled callbacks never fire; everything else fires once.
+        assert set(fired_ids) == set(range(len(ops))) - cancelled
+        # Each callback fires exactly at its scheduled virtual time.
+        for now, i in fired:
+            assert now == handles[i][1]
+        # Delivery is (time, seq)-ordered: non-decreasing times, and
+        # equal-time callbacks fire in schedule (seq) order.
+        times = [now for now, _i in fired]
+        assert times == sorted(times)
+        for (t_a, i_a), (t_b, i_b) in zip(fired, fired[1:]):
+            if t_a == t_b:
+                assert i_a < i_b
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=20),
+           st.integers(1, 400))
+    def test_nested_schedules_keep_ordering(self, delays, extra):
+        sim = Simulator()
+        fired = []
+
+        def make(i, delay):
+            def fn():
+                fired.append((sim.now, i))
+                if i % 3 == 0:
+                    sim.schedule(extra, lambda: fired.append(
+                        (sim.now, 1000 + i)))
+            return fn
+
+        for i, delay in enumerate(delays):
+            sim.schedule(delay, make(i, delay))
+        sim.run()
+        times = [now for now, _i in fired]
+        assert times == sorted(times)
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        sim = Simulator()
+        late = sim.schedule(100, lambda: None)
+        sim.schedule(0, late.cancel)
+        sim.run()
+        # The cancelled entry is skipped before the clock moves to 100.
+        assert sim.now == 0
