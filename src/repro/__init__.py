@@ -7,7 +7,7 @@ simulated-OS substrate.
 
 Quick start::
 
-    from repro import World, NvxSession, VersionSpec
+    from repro import World, VersionSpec
 
     def app(ctx):
         fd = yield from ctx.open("/dev/null")
@@ -16,8 +16,8 @@ Quick start::
         return t
 
     world = World()
-    session = NvxSession(world, [VersionSpec("a", app),
-                                 VersionSpec("b", app)]).start()
+    session = world.nvx([VersionSpec("a", app),
+                         VersionSpec("b", app)]).start()
     world.run()
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -37,7 +37,7 @@ from repro.nvx import (
 )
 from repro.recordreplay import Recorder, ReplaySession
 from repro.sanitizers import ASAN, MSAN, TSAN, sanitized_spec
-from repro.world import World
+from repro.world import SessionConfig, World
 
 __version__ = "1.0.0"
 
@@ -61,6 +61,7 @@ __all__ = [
     "MSAN",
     "TSAN",
     "sanitized_spec",
+    "SessionConfig",
     "World",
     "__version__",
 ]

@@ -7,6 +7,8 @@ Usage::
     python -m repro figure5 --scale 0.01
     python -m repro all --scale 0.01
     python -m repro sweep --jobs 4 --scale 0.008 --check-reference
+    python -m repro sweep --jobs 4 --metrics
+    python -m repro trace figure4 --out trace.json
 """
 
 from __future__ import annotations
@@ -21,19 +23,28 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Regenerate the Varan paper's tables and figures")
     parser.add_argument("experiment",
-                        help="experiment id (see 'list'), 'all', 'list' "
-                             "or 'sweep'")
+                        help="experiment id (see 'list'), 'all', 'list', "
+                             "'sweep' or 'trace'")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="(trace) experiment id to trace")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale factor for server benchmarks")
     parser.add_argument("--jobs", type=int, default=1,
                         help="(sweep) worker processes; 1 = serial")
     parser.add_argument("--out", default=None,
                         help="(sweep) write the report to this file "
-                             "instead of stdout")
+                             "instead of stdout; (trace) write the "
+                             "Chrome trace_event JSON here")
     parser.add_argument("--check-reference", action="store_true",
                         help="(sweep) diff the report against "
                              "benchmarks/reference_sweep.txt; non-zero "
                              "exit on mismatch")
+    parser.add_argument("--metrics", action="store_true",
+                        help="(sweep) collect per-session metrics and "
+                             "print the merged JSON snapshot to stdout")
+    parser.add_argument("--jsonl", default=None,
+                        help="(trace) also stream raw trace records to "
+                             "this JSONL file")
     return parser
 
 
@@ -41,7 +52,8 @@ def run_sweep_command(args) -> int:
     from repro.experiments import runner
 
     started = time.time()
-    results = runner.run_sweep(jobs=args.jobs, scale=args.scale)
+    results = runner.run_sweep(jobs=args.jobs, scale=args.scale,
+                               collect_metrics=args.metrics)
     report = runner.render_sweep(results, scale=args.scale)
     elapsed = time.time() - started
     if args.out:
@@ -53,6 +65,10 @@ def run_sweep_command(args) -> int:
         print(report, end="")
         print(f"[sweep completed in {elapsed:.1f}s "
               f"with --jobs {args.jobs}]")
+    if args.metrics:
+        # Metrics go to stdout, never into --out: the report file must
+        # stay byte-comparable against the committed reference.
+        print(runner.render_metrics(results))
     if args.check_reference:
         with open(runner.reference_path()) as fh:
             reference = fh.read()
@@ -67,6 +83,45 @@ def run_sweep_command(args) -> int:
     return 0
 
 
+def run_trace_command(args) -> int:
+    """Run one experiment with tracing armed and export a Chrome trace.
+
+    The trace derives from sim state only, so two runs with the same
+    arguments produce byte-identical files.
+    """
+    from repro import obs
+    from repro.experiments.registry import (
+        EXPERIMENTS,
+        ExperimentConfig,
+        run_experiment,
+    )
+
+    if args.target is None:
+        print("usage: python -m repro trace <experiment> --out trace.json",
+              file=sys.stderr)
+        return 2
+    if args.target not in EXPERIMENTS:
+        print(f"unknown experiment {args.target!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    if args.out is None:
+        print("trace requires --out <file>", file=sys.stderr)
+        return 2
+    sinks = [obs.MemorySink()]
+    if args.jsonl:
+        sinks.append(obs.JsonlSink(args.jsonl))
+    tracer = obs.Tracer(sinks=sinks)
+    config = ExperimentConfig(scale=args.scale)
+    with obs.tracing(tracer):
+        run_experiment(args.target, config=config)
+    records = tracer.records
+    with open(args.out, "w") as fh:
+        fh.write(obs.chrome_trace_json(records))
+    tracer.close()
+    print(f"[{args.target}: {len(records)} trace events -> {args.out}]")
+    return 0
+
+
 def main(argv=None) -> int:
     from repro.experiments.registry import EXPERIMENTS, run_experiment
     from repro.experiments.runner import SCALED_EXPERIMENTS as scaled
@@ -78,6 +133,8 @@ def main(argv=None) -> int:
         return 0
     if args.experiment == "sweep":
         return run_sweep_command(args)
+    if args.experiment == "trace":
+        return run_trace_command(args)
 
     chosen = (sorted(EXPERIMENTS) if args.experiment == "all"
               else [args.experiment])

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.bpf.rules import RewriteRules
+from repro.core.config import SessionConfig, resolve_session_config
 from repro.core.datachannel import DataChannel
 from repro.core.events import EV_EXIT
 from repro.core.monitor import PROMOTED, ReplicaMonitor, RingTuple
@@ -22,6 +23,7 @@ from repro.core.shm import SharedMemoryPool
 from repro.core.tables import install_tables
 from repro.costmodel import cycles
 from repro.errors import FailoverError, NvxError
+from repro.obs import metrics as obs_metrics
 from repro.sim.core import Compute
 from repro.sim.sync import WaitQueue
 
@@ -69,34 +71,42 @@ class SessionStats:
     crashes: List = field(default_factory=list)
     fatal_divergences: List = field(default_factory=list)
     setup_ps: int = 0
+    #: Sim time from crash notification to promotion, per promotion.
+    promotion_latencies_ps: List[int] = field(default_factory=list)
 
 
 class NvxSession:
-    """One Varan NVX group: N versions behaving as a single process."""
+    """One Varan NVX group: N versions behaving as a single process.
 
-    def __init__(self, world, specs: List[VersionSpec], machine=None,
-                 rules: Optional[RewriteRules] = None,
-                 ring_capacity: int = 256, leader_index: int = 0,
-                 daemon: bool = False,
-                 sample_distances: bool = False) -> None:
+    Options arrive through a shared :class:`SessionConfig`; the old
+    per-option keywords still work via a deprecation shim.
+    """
+
+    def __init__(self, world, specs: List[VersionSpec],
+                 config: Optional[SessionConfig] = None, **kwargs) -> None:
         if not specs:
             raise NvxError("session needs at least one version")
+        cfg = resolve_session_config("NvxSession", config, kwargs)
         self.world = world
         self.costs = world.costs
-        self.machine = machine or world.server
-        self.rules = rules or RewriteRules()
-        self.ring_capacity = ring_capacity
-        self.daemon = daemon
-        self.sample_distances = sample_distances
+        self.machine = cfg.machine or world.server
+        self.rules = cfg.rules or RewriteRules()
+        self.ring_capacity = cfg.ring_capacity
+        self.daemon = cfg.daemon
+        self.sample_distances = cfg.sample_distances
+        #: Session tracer: explicit override, else whatever the world
+        #: carries (usually None → zero-cost no-ops on the hot path).
+        self.tracer = cfg.tracer if cfg.tracer is not None else world.tracer
         self.pool = SharedMemoryPool(world.sim, world.costs)
         self.stats = SessionStats()
         self.variants = [Variant(i, spec, self.machine)
                          for i, spec in enumerate(specs)]
-        self.variants[leader_index].is_leader = True
+        self.variants[cfg.leader_index].is_leader = True
         self.tuples: List[RingTuple] = []
         self._next_tuple_id = 0
-        self.control = WaitQueue(world.sim)
+        self.control = WaitQueue(world.sim, name="varan.control")
         self._pending: Deque = deque()
+        obs_metrics.register(self)
         self.ready = False
         self.coordinator = None
         #: Callables invoked with each newly created RingTuple — used by
@@ -132,23 +142,28 @@ class NvxSession:
     # -- coordinator ------------------------------------------------------------
 
     def _coordinator_main(self):
-        start_ps = self.world.sim.now
+        sim = self.world.sim
+        start_ps = sim.now
         yield from self._perform_setup()
-        self.stats.setup_ps = self.world.sim.now - start_ps
+        self.stats.setup_ps = sim.now - start_ps
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.span_here(sim, start_ps, "session", "setup",
+                             (("versions", len(self.variants)),))
         self.ready = True
         while True:
             while not self._pending:
                 yield from self.control.wait()
-            kind, variant, task, info = self._pending.popleft()
+            kind, variant, task, info, reported_ps = self._pending.popleft()
             yield Compute(cycles(
                 self.costs.failover.detect_signal
                 + self.costs.failover.coordinator_handling))
             if not variant.alive:
                 continue
             if kind == "crash" and variant.is_leader:
-                self._promote_new_leader(variant)
+                self._promote_new_leader(variant, reported_ps)
             else:
-                self._drop_follower(variant)
+                self._drop_follower(variant, kind, info)
 
     def _perform_setup(self):
         """Steps A-D of Figure 2, with their system-call costs."""
@@ -222,7 +237,8 @@ class NvxSession:
         """
         ring = RingBuffer(self.world.sim, self.costs,
                           capacity=self.ring_capacity,
-                          name=f"ring{self._next_tuple_id}")
+                          name=f"ring{self._next_tuple_id}",
+                          tracer=self.tracer)
         ring.sample_distances = self.sample_distances
         channels = {}
         for variant in self.followers:
@@ -255,9 +271,16 @@ class NvxSession:
 
     def _crash_hook(self, variant: Variant):
         def hook(task, fault):
-            self.stats.crashes.append(
-                (variant.name, str(fault), self.world.sim.now))
-            self._pending.append(("crash", variant, task, fault))
+            now = self.world.sim.now
+            self.stats.crashes.append((variant.name, str(fault), now))
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.instant(now, self.machine.name, task.name,
+                               "failover", "crash",
+                               (("variant", variant.name),
+                                ("fault", str(fault)),
+                                ("was_leader", variant.is_leader)))
+            self._pending.append(("crash", variant, task, fault, now))
             self.control.notify()
 
         return hook
@@ -268,11 +291,18 @@ class NvxSession:
         self.stats.fatal_divergences.append(
             (monitor.variant.name, call.name, event.name))
         self._pending.append(
-            ("divergence", monitor.variant, monitor.task, call.name))
+            ("divergence", monitor.variant, monitor.task, call.name,
+             self.world.sim.now))
         self.control.notify()
 
-    def _drop_follower(self, variant: Variant) -> None:
+    def _drop_follower(self, variant: Variant, kind: str = "crash",
+                       info=None) -> None:
         """Unsubscribe a crashed/diverged follower; others are unaffected."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant_here(self.world.sim, "failover", "drop_follower",
+                                (("variant", variant.name),
+                                 ("reason", kind)))
         variant.alive = False
         for tuple_ in self.tuples:
             tuple_.ring.remove_consumer(variant.vid)
@@ -284,7 +314,8 @@ class NvxSession:
             if not task.exited:
                 task.kill_now()
 
-    def _promote_new_leader(self, old_leader: Variant) -> None:
+    def _promote_new_leader(self, old_leader: Variant,
+                            reported_ps: Optional[int] = None) -> None:
         """Elect the follower with the smallest ID (§5.1)."""
         old_leader.alive = False
         old_leader.is_leader = False
@@ -297,12 +328,60 @@ class NvxSession:
         new_leader = min(candidates, key=lambda v: v.vid)
         new_leader.is_leader = True
         self.stats.promotions += 1
+        now = self.world.sim.now
+        latency = now - (reported_ps if reported_ps is not None else now)
+        self.stats.promotion_latencies_ps.append(latency)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant_here(self.world.sim, "failover", "promote",
+                                (("old_leader", old_leader.name),
+                                 ("new_leader", new_leader.name),
+                                 ("latency_ps", latency)))
         for tuple_ in self.tuples:
             channel = tuple_.channels.pop(new_leader.vid, None)
             if channel is not None:
                 channel.close()
             # Wake every parked replica so it notices the new regime.
             tuple_.ring.wake_all()
+
+    # -- observability ------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict:
+        """Session metrics as a mergeable registry snapshot (``repro.obs``).
+
+        Everything derives from sim-side counters, so snapshots of the
+        same run are identical no matter when or where they are taken.
+        """
+        reg = obs_metrics.MetricsRegistry()
+        stats = self.stats
+        reg.inc("session.divergences", stats.divergences)
+        reg.inc("session.divergences_allowed", stats.divergences_allowed)
+        reg.inc("session.divergences_skipped", stats.divergences_skipped)
+        reg.inc("session.events_skipped", stats.events_skipped)
+        reg.inc("session.promotions", stats.promotions)
+        reg.inc("session.crashes", len(stats.crashes))
+        reg.inc("session.fatal_divergences", len(stats.fatal_divergences))
+        reg.gauge_max("session.setup_ns", stats.setup_ps // 1000)
+        for latency_ps in stats.promotion_latencies_ps:
+            reg.observe("failover.promotion_latency_ns", latency_ps // 1000)
+        for tuple_ in self.tuples:
+            ring = tuple_.ring
+            rs = ring.stats
+            reg.inc("ring.published", rs.published)
+            reg.inc("ring.consumed", rs.consumed)
+            reg.inc("ring.producer_stalls", rs.producer_stalls)
+            reg.inc("ring.stall_ns", rs.stall_ps // 1000)
+            reg.inc("ring.waitlock_sleeps", rs.waitlock_sleeps)
+            reg.inc("ring.spin_waits", rs.spin_waits)
+            reg.gauge_max("ring.occupancy", ring.head - ring.min_cursor())
+            for distance in rs.distance_samples:
+                reg.observe("ring.occupancy_at_publish", distance)
+            for vid in ring.cursors:
+                reg.observe("follower.lag_events", ring.lag_of(vid))
+            for vid, replica in tuple_.replicas.items():
+                role = "leader" if replica.is_leader else "follower"
+                reg.observe(f"{role}.wait_ns", replica.wait_ps // 1000)
+        return reg.snapshot()
 
     def await_promotion_complete(self, task):
         """Generator: lazily finish promoting *this* task to leader.

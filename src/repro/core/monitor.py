@@ -61,6 +61,9 @@ class ReplicaMonitor:
         self.variant = variant
         self.task = task
         self.tuple = tuple_
+        #: Session-level tracer (None when observability is off).  Uses
+        #: getattr because replay-only sessions duck-type this interface.
+        self.tracer = getattr(session, "tracer", None)
         self.clock = 0  # Lamport clock, shared by the task's threads
         #: Virtual time this replica spent *waiting* (for events, for
         #: ring space) as opposed to processing — lets measurements
@@ -167,6 +170,12 @@ class ReplicaMonitor:
                 yield from self.ring.wait_published(blocking_hint,
                                                     published_ready)
                 self.wait_ps += sim.now - wait_started
+                tracer = self.tracer
+                if tracer is not None and sim.now > wait_started:
+                    tracer.span_here(sim, wait_started, "wait",
+                                     "await_event",
+                                     (("variant", self.variant.name),
+                                      ("kind", "published")))
                 continue
             if event.tindex != my_tindex:
                 # Happens-before: another thread of this variant must
@@ -180,6 +189,12 @@ class ReplicaMonitor:
                 yield from self.ring.wait_advanced(blocking_hint,
                                                    advanced_ready)
                 self.wait_ps += sim.now - wait_started
+                tracer = self.tracer
+                if tracer is not None and sim.now > wait_started:
+                    tracer.span_here(sim, wait_started, "wait",
+                                     "await_event",
+                                     (("variant", self.variant.name),
+                                      ("kind", "advanced")))
                 continue
             if event.clock != self.clock + 1:
                 raise NvxError(
@@ -245,4 +260,12 @@ class ReplicaMonitor:
         action = rules.evaluate(
             SYSCALL_NUMBERS.get(call.name, -1),
             self._by_value_args(call), event.words())
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant_here(self.session.world.sim,
+                                "divergence", "divergence",
+                                (("variant", self.variant.name),
+                                 ("call", call.name),
+                                 ("expected", event.name),
+                                 ("action", action)))
         return action, cost

@@ -85,25 +85,31 @@ class RingBuffer:
 
     __slots__ = ("sim", "costs", "capacity", "name", "slots", "head",
                  "cursors", "not_full", "published", "advanced", "stats",
-                 "sample_distances", "_sleepers", "_not_full_ready",
-                 "_ps_full_check", "_ps_publish", "_ps_waitlock_wake",
-                 "_ps_waitlock_sleep", "_ps_spin_check")
+                 "sample_distances", "tracer", "_sleepers",
+                 "_not_full_ready", "_ps_full_check", "_ps_publish",
+                 "_ps_waitlock_wake", "_ps_waitlock_sleep",
+                 "_ps_spin_check")
 
     def __init__(self, sim: Simulator, costs: CostModel,
                  capacity: int = DEFAULT_CAPACITY,
-                 name: str = "ring") -> None:
+                 name: str = "ring", tracer=None) -> None:
         if capacity < 1:
             raise NvxError("ring capacity must be at least 1")
         self.sim = sim
         self.costs = costs
         self.capacity = capacity
         self.name = name
+        #: Observability hook; inherits the simulator's tracer so rings
+        #: built outside a session (ablations, perf harness) still show
+        #: up under `python -m repro trace`.
+        self.tracer = tracer if tracer is not None else sim.tracer
         self.slots: List[Optional[Event]] = [None] * capacity
         self.head = 0  # next sequence to publish
         self.cursors: Dict[int, int] = {}  # variant id → next seq to read
-        self.not_full = WaitQueue(sim)
-        self.published = WaitQueue(sim)
-        self.advanced = WaitQueue(sim)  # intra-variant thread gating
+        self.not_full = WaitQueue(sim, name=f"{name}.not_full")
+        self.published = WaitQueue(sim, name=f"{name}.published")
+        # intra-variant thread gating
+        self.advanced = WaitQueue(sim, name=f"{name}.advanced")
         self.stats = RingStats()
         self.sample_distances = False
         #: Followers currently parked on the futex-backed waitlock (as
@@ -174,12 +180,22 @@ class RingBuffer:
                 break
             yield from self.not_full.wait(ready=self._not_full_ready)
         self.stats.stall_ps += self.sim.now - stall_started
+        tracer = self.tracer
+        if tracer is not None and self.sim.now > stall_started:
+            tracer.span_here(self.sim, stall_started, "ring", "stall",
+                             (("ring", self.name),))
         event.seq = self.head
         self.slots[self.head % self.capacity] = event
         self.head += 1
         self.stats.published += 1
         if self.sample_distances and self.cursors:
             self.stats.record_distance(self.head - self.min_cursor())
+        if tracer is not None:
+            tracer.instant_here(
+                self.sim, "ring", "publish",
+                (("ring", self.name), ("seq", event.seq),
+                 ("occupancy", self.head - self.min_cursor()),
+                 ("call", event.name)))
         yield Compute(self._ps_publish)
         if self._sleepers:
             # Futex wake for waitlocked followers; busy-waiting followers
@@ -259,6 +275,12 @@ class RingBuffer:
             raise NvxError(f"{self.name}: advance by unsubscribed {vid}")
         self.cursors[vid] += 1
         self.stats.consumed += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant_here(
+                self.sim, "ring", "consume",
+                (("ring", self.name), ("vid", vid),
+                 ("lag", self.head - self.cursors[vid])))
         self.not_full.notify_ready()
         self.advanced.notify_ready()
 

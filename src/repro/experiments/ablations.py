@@ -197,7 +197,7 @@ def waitlock(events: int = 300) -> ExperimentResult:
     return result
 
 
-def run() -> ExperimentResult:
+def run(config=None) -> ExperimentResult:
     """All three ablations merged into one report."""
     merged = ExperimentResult("ablations",
                               "Design-choice ablations (§2.2/§3.3.1/§6)")

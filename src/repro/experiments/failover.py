@@ -17,7 +17,8 @@ from repro.apps.httpd import LIGHTTPD
 from repro.apps.redis import BUGGY_REVISION, REVISIONS
 from repro.clients import make_redis_command_probe, make_wrk
 from repro.clients.base import connect_with_retry, recv_until
-from repro.core.coordinator import NvxSession, VersionSpec
+from repro.core.config import SessionConfig
+from repro.core.coordinator import VersionSpec
 from repro.costmodel import US_PS
 from repro.experiments.harness import ExperimentResult
 from repro.world import World
@@ -47,7 +48,7 @@ def _run_redis_probe(buggy_position: str):
                                     background_thread=False),
                          image=redis_image())
              for i, rev in enumerate(order)]
-    session = NvxSession(world, specs, daemon=True).start()
+    session = world.nvx(specs, config=SessionConfig(daemon=True)).start()
     mains, report = make_redis_command_probe(b"HMGET missinghash f1 f2\r\n")
     for main in mains:
         world.kernel.spawn_task(world.client, main, name="probe")
@@ -83,7 +84,7 @@ def _run_lighttpd_pair(buggy_first: bool):
                  else [rev2437, rev2438])
     specs = [VersionSpec(f"lighttpd-{i}", factory())
              for i, factory in enumerate(factories)]
-    NvxSession(world, specs, daemon=True).start()
+    world.nvx(specs, config=SessionConfig(daemon=True)).start()
     timings = {}
 
     def client(ctx):
@@ -107,7 +108,7 @@ def _run_lighttpd_pair(buggy_first: bool):
     return timings
 
 
-def run() -> ExperimentResult:
+def run(config=None) -> ExperimentResult:
     result = ExperimentResult("failover-5.1", "Transparent failover",
                               paper_reference=PAPER_FAILOVER)
 

@@ -11,8 +11,10 @@ from __future__ import annotations
 import statistics
 from typing import Dict, List
 
-from repro.core.coordinator import NvxSession, VersionSpec
+from repro.core.config import SessionConfig
+from repro.core.coordinator import VersionSpec
 from repro.costmodel import to_cycles
+from repro.experiments.expconfig import apply_config
 from repro.experiments.harness import ExperimentResult
 from repro.kernel.uapi import O_RDONLY, O_RDWR
 from repro.runtime.image import SiteSpec, build_image
@@ -152,8 +154,8 @@ def _measure_nvx(iterations, warmup):
     ]
     # A ring larger than the iteration count: the paper's leader numbers
     # exclude backpressure stalls.
-    session = NvxSession(world, specs,
-                         ring_capacity=8 * (iterations + warmup) + 64)
+    session = world.nvx(specs, config=SessionConfig(
+        ring_capacity=8 * (iterations + warmup) + 64))
     session.start()
     world.run()
     return _medians(leader_sink), _medians(follower_sink)
@@ -164,9 +166,12 @@ def _medians(sink: Dict[str, List[int]]) -> Dict[str, float]:
             for name, values in sink.items()}
 
 
-def run(iterations: int = 300, warmup: int = 30) -> ExperimentResult:
+def run(config=None, iterations: int = 300,
+        warmup: int = 30) -> ExperimentResult:
     """Regenerate Figure 4 (iteration count scaled from the paper's 1M —
     the simulation is deterministic, so medians converge immediately)."""
+    opts = apply_config(config, iterations=iterations, warmup=warmup)
+    iterations, warmup = opts["iterations"], opts["warmup"]
     native = _measure_native(iterations, warmup)
     intercept = _measure_intercept(iterations, warmup)
     leader, follower = _measure_nvx(iterations, warmup)

@@ -31,6 +31,7 @@ from repro.clients import (
     make_wrk,
 )
 from repro.costmodel import SEC_PS
+from repro.experiments.expconfig import apply_config
 from repro.experiments.harness import (
     MONITOR_NATIVE,
     MONITOR_VARAN,
@@ -106,9 +107,20 @@ def run_server(name: str, follower_counts=(0, 1, 2, 3, 4, 5, 6),
     return overheads
 
 
-def run(servers=("beanstalkd", "lighttpd", "memcached", "nginx", "redis"),
+def parts():
+    """Sweep decomposition: one part per server."""
+    return sorted(PAPER_FIGURE5)
+
+
+def run(config=None,
+        servers=("beanstalkd", "lighttpd", "memcached", "nginx", "redis"),
         follower_counts=(0, 1, 2, 3, 4, 5, 6),
         scale: float = 0.05) -> ExperimentResult:
+    opts = apply_config(config, parts_key="servers", servers=servers,
+                        follower_counts=follower_counts, scale=scale)
+    servers = opts["servers"]
+    follower_counts = opts["follower_counts"]
+    scale = opts["scale"]
     result = ExperimentResult(
         "figure5",
         "C10k server overhead vs follower count (normalized runtime)",

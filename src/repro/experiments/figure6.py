@@ -16,6 +16,7 @@ from repro.apps import (
     make_httpd,
 )
 from repro.clients import make_apachebench, make_http_load
+from repro.experiments.expconfig import apply_config
 from repro.experiments.harness import (
     MONITOR_NATIVE,
     MONITOR_VARAN,
@@ -67,10 +68,20 @@ def run_row(name, profile, client, follower_counts, scale):
     return overheads
 
 
-def run(follower_counts=(0, 1, 2, 3, 4, 5, 6),
+def parts():
+    """Sweep decomposition: one part per (server, client tool) row."""
+    return [name for name, _profile, _client in _ROWS]
+
+
+def run(config=None, follower_counts=(0, 1, 2, 3, 4, 5, 6),
         scale: float = 0.05, rows=None) -> ExperimentResult:
     """``rows`` selects a subset of server rows by name (sweep-runner
     decomposition); None means all of them, in table order."""
+    opts = apply_config(config, parts_key="rows", rows=rows,
+                        follower_counts=follower_counts, scale=scale)
+    rows = opts["rows"]
+    follower_counts = opts["follower_counts"]
+    scale = opts["scale"]
     if rows is None:
         selected = _ROWS
     else:

@@ -8,6 +8,7 @@ physical cores (§4.3).
 from __future__ import annotations
 
 from repro.apps.spec import CPU2000
+from repro.experiments.expconfig import apply_config
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.spec_common import run_spec_native, run_spec_varan
 
@@ -19,11 +20,32 @@ PAPER_NOTES = ("mcf-class benchmarks degrade steeply beyond 4 variants; "
                "1 follower ~11-18%")
 
 
-def run(follower_counts=(0, 1, 2, 3, 4, 5, 6), scale: float = 0.2,
-        benchmarks=CPU2000) -> ExperimentResult:
+def parts():
+    """Sweep decomposition: one part per benchmark."""
+    return [b.name for b in CPU2000]
+
+
+def _select_benchmarks(config, default):
+    """Resolve ``config.parts`` (benchmark names) back to spec objects."""
+    if config is None or config.parts is None:
+        return default
+    from repro.apps.spec import ALL_SPEC
+
+    return tuple(ALL_SPEC[name] for name in config.parts)
+
+
+def run(config=None, follower_counts=(0, 1, 2, 3, 4, 5, 6),
+        scale: float = 0.2, benchmarks=CPU2000,
+        experiment_id: str = "figure7",
+        title: str = "SPEC CPU2000 overhead vs follower count"
+        ) -> ExperimentResult:
+    opts = apply_config(config, follower_counts=follower_counts,
+                        scale=scale, benchmarks=benchmarks)
+    follower_counts = opts["follower_counts"]
+    scale = opts["scale"]
+    benchmarks = _select_benchmarks(config, opts["benchmarks"])
     result = ExperimentResult(
-        "figure7", "SPEC CPU2000 overhead vs follower count",
-        paper_reference={"notes": PAPER_NOTES})
+        experiment_id, title, paper_reference={"notes": PAPER_NOTES})
     for benchmark in benchmarks:
         native = run_spec_native(benchmark, scale)
         row = {"benchmark": benchmark.name}

@@ -7,10 +7,14 @@ from repro.experiments import figure7
 from repro.experiments.harness import ExperimentResult
 
 
-def run(follower_counts=(0, 1, 2, 3, 4, 5, 6),
+def parts():
+    """Sweep decomposition: one part per benchmark."""
+    return [b.name for b in CPU2006]
+
+
+def run(config=None, follower_counts=(0, 1, 2, 3, 4, 5, 6),
         scale: float = 0.2, benchmarks=CPU2006) -> ExperimentResult:
-    result = figure7.run(follower_counts=follower_counts, scale=scale,
-                         benchmarks=benchmarks)
-    result.experiment_id = "figure8"
-    result.title = "SPEC CPU2006 overhead vs follower count"
-    return result
+    return figure7.run(config=config, follower_counts=follower_counts,
+                       scale=scale, benchmarks=benchmarks,
+                       experiment_id="figure8",
+                       title="SPEC CPU2006 overhead vs follower count")

@@ -7,10 +7,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.clients.base import ClientReport
-from repro.core.coordinator import NvxSession, VersionSpec
+from repro.core.config import SessionConfig
+from repro.core.coordinator import VersionSpec
 from repro.costmodel import SEC_PS
-from repro.nvx.lockstep import LockstepSession, MonitorProfile
-from repro.nvx.scribe import ScribeSession
+from repro.nvx.lockstep import MonitorProfile
 from repro.world import World
 
 #: Monitor selector values accepted by :func:`run_server_benchmark`.
@@ -69,18 +69,20 @@ def run_server_benchmark(server_factory: Callable[[], Callable],
                         image=image_factory() if image_factory else None)
             for i in range(versions)
         ]
-        session = NvxSession(world, specs, daemon=True,
-                             ring_capacity=ring_capacity,
-                             sample_distances=sample_distances).start()
+        session = world.nvx(specs, config=SessionConfig(
+            daemon=True, ring_capacity=ring_capacity,
+            sample_distances=sample_distances)).start()
     elif monitor == MONITOR_SCRIBE:
         specs = [VersionSpec(f"v{i}", server_factory())
                  for i in range(versions)]
-        session = ScribeSession(world, specs, daemon=True).start()
+        session = world.scribe(
+            specs, config=SessionConfig(daemon=True)).start()
     elif lockstep_profile is not None:
         specs = [VersionSpec(f"v{i}", server_factory())
                  for i in range(versions)]
-        session = LockstepSession(world, specs, daemon=True,
-                                  profile=lockstep_profile).start()
+        session = world.lockstep(
+            specs, config=SessionConfig(daemon=True),
+            profile=lockstep_profile).start()
     else:
         raise ValueError(f"unknown monitor {monitor!r}")
 
@@ -111,6 +113,9 @@ class ExperimentResult:
     #: Values the paper reports, keyed like rows, for EXPERIMENTS.md.
     paper_reference: Dict = field(default_factory=dict)
     notes: str = ""
+    #: Merged ``repro.obs`` metrics snapshot, populated when a sweep ran
+    #: with metrics collection on (``--metrics``); {} otherwise.
+    metrics: Dict = field(default_factory=dict)
 
     def render(self) -> str:
         """Format rows as the kind of table the paper prints."""

@@ -13,11 +13,12 @@ from repro.apps import ServerStats
 from repro.apps.httpd import lighttpd_revision
 from repro.bpf import RewriteRules, assemble_bpf
 from repro.clients import make_apachebench
-from repro.core.coordinator import NvxSession, VersionSpec
+from repro.core.config import SessionConfig
+from repro.core.coordinator import VersionSpec
 from repro.errors import DivergenceError
 from repro.experiments.harness import ExperimentResult
 from repro.kernel.uapi import SYSCALL_NUMBERS
-from repro.nvx.lockstep import LockstepSession, MX_PROFILE
+from repro.nvx.lockstep import MX_PROFILE
 from repro.world import World
 
 #: Listing 1 of the paper, verbatim.
@@ -82,7 +83,8 @@ def run_pair(old_rev: str, new_rev: str, filter_source: str,
              for rev in revisions]
     rules = RewriteRules([assemble_bpf(filter_source,
                                        name=f"r{old_rev}-r{new_rev}")])
-    session = NvxSession(world, specs, rules=rules, daemon=True).start()
+    session = world.nvx(specs, config=SessionConfig(
+        rules=rules, daemon=True)).start()
     report = _serve_requests(world)
     world.run()
     return session, report
@@ -96,8 +98,8 @@ def run_pair_lockstep(old_rev: str, new_rev: str):
     specs = [VersionSpec(f"lighttpd-r{rev}",
                          lighttpd_revision(rev, stats=ServerStats()))
              for rev in (old_rev, new_rev)]
-    session = LockstepSession(world, specs, profile=MX_PROFILE,
-                              daemon=True).start()
+    session = world.lockstep(specs, config=SessionConfig(daemon=True),
+                             profile=MX_PROFILE).start()
     report = _serve_requests(world, requests=5)
     try:
         world.run(until_ps=2_000_000_000_000)
@@ -106,7 +108,7 @@ def run_pair_lockstep(old_rev: str, new_rev: str):
     return session, report
 
 
-def run() -> ExperimentResult:
+def run(config=None) -> ExperimentResult:
     result = ExperimentResult(
         "multirevision-5.2",
         "Multi-revision execution across syscall-sequence divergences")

@@ -13,7 +13,9 @@ from __future__ import annotations
 from repro.apps import ServerStats, make_redis, redis_image
 from repro.apps.redis import BUGGY_REVISION, REVISIONS
 from repro.clients import make_redis_benchmark
-from repro.core.coordinator import NvxSession, VersionSpec
+from repro.core.config import SessionConfig
+from repro.core.coordinator import VersionSpec
+from repro.experiments.expconfig import apply_config
 from repro.experiments.harness import (
     MONITOR_NATIVE,
     MONITOR_SCRIBE,
@@ -29,12 +31,11 @@ PAPER_RECORD = {"scribe_overhead": 1.53, "varan_overhead": 1.14}
 
 def _run_varan_record(scale: float):
     world = World()
-    session = NvxSession(
-        world,
+    session = world.nvx(
         [VersionSpec("redis", make_redis(stats=ServerStats(),
                                          background_thread=False),
                      image=redis_image())],
-        daemon=True)
+        config=SessionConfig(daemon=True))
     recorder = Recorder(session, "/var/varan.log")
     session.start()
     mains, report = make_redis_benchmark(scale=scale)
@@ -44,7 +45,8 @@ def _run_varan_record(scale: float):
     return report, recorder
 
 
-def run(scale: float = 0.05) -> ExperimentResult:
+def run(config=None, scale: float = 0.05) -> ExperimentResult:
+    scale = apply_config(config, scale=scale)["scale"]
     result = ExperimentResult(
         "recordreplay-5.4", "Record-replay overhead vs Scribe",
         paper_reference=PAPER_RECORD)
@@ -80,14 +82,13 @@ def triage_crash(scale: float = 0.01):
     """Replay one production log against many revisions to find which
     introduced the crash — the multi-version replay use case of §5.4."""
     world = World()
-    session = NvxSession(
-        world,
+    session = world.nvx(
         [VersionSpec("redis-prod",
                      make_redis(stats=ServerStats(),
                                 revision=REVISIONS[0],
                                 background_thread=False),
                      image=redis_image())],
-        daemon=True)
+        config=SessionConfig(daemon=True))
     recorder = Recorder(session, "/var/crash.log")
     session.start()
     mains, _report = make_redis_benchmark(

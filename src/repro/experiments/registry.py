@@ -1,9 +1,24 @@
-"""Registry mapping every table/figure to its reproduction driver."""
+"""Registry mapping every table/figure to its reproduction driver.
+
+Every driver follows one contract::
+
+    run(config: Optional[ExperimentConfig] = None, **kwargs)
+        -> ExperimentResult
+
+``config`` carries the three things a caller (serial CLI, sweep runner,
+trace exporter) may want to vary without knowing a driver's private
+keywords: the workload ``scale``, a ``parts`` subset for decomposable
+drivers, and ``options`` — explicit keyword overrides folded over the
+driver's defaults.  Decomposable drivers additionally expose a
+module-level ``parts() -> list[str]`` returning their ordered part
+keys, which is what the sweep runner fans out over.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
+from repro.experiments.expconfig import ExperimentConfig, apply_config
 from repro.experiments import (
     ablations,
     failover,
@@ -19,28 +34,52 @@ from repro.experiments import (
     table2,
 )
 
-#: experiment id → zero-argument callable returning an ExperimentResult.
+
+__all__ = ["EXPERIMENTS", "ExperimentConfig", "MODULES", "apply_config",
+           "experiment_parts", "run_experiment"]
+
+#: experiment id → driver module (each exposing ``run`` and, when
+#: decomposable, ``parts``).
+MODULES = {
+    "table1": table1,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "table2": table2,
+    "figure7": figure7,
+    "figure8": figure8,
+    "failover-5.1": failover,
+    "multirevision-5.2": multirevision,
+    "sanitization-5.3": sanitization,
+    "recordreplay-5.4": recordreplay_exp,
+    "ablations": ablations,
+}
+
+#: experiment id → driver callable (kept as the stable public surface).
 EXPERIMENTS: Dict[str, Callable] = {
-    "table1": table1.run,
-    "figure4": figure4.run,
-    "figure5": figure5.run,
-    "figure6": figure6.run,
-    "table2": table2.run,
-    "figure7": figure7.run,
-    "figure8": figure8.run,
-    "failover-5.1": failover.run,
-    "multirevision-5.2": multirevision.run,
-    "sanitization-5.3": sanitization.run,
-    "recordreplay-5.4": recordreplay_exp.run,
-    "ablations": ablations.run,
+    eid: module.run for eid, module in MODULES.items()
 }
 
 
-def run_experiment(experiment_id: str, **kwargs):
+def _lookup(experiment_id: str):
     try:
-        driver = EXPERIMENTS[experiment_id]
+        return MODULES[experiment_id]
     except KeyError as exc:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
-            f"known: {sorted(EXPERIMENTS)}") from exc
+            f"known: {sorted(MODULES)}") from exc
+
+
+def experiment_parts(experiment_id: str) -> Optional[List[str]]:
+    """Ordered part keys of a decomposable driver, else None."""
+    module = _lookup(experiment_id)
+    maker = getattr(module, "parts", None)
+    return list(maker()) if maker is not None else None
+
+
+def run_experiment(experiment_id: str,
+                   config: Optional[ExperimentConfig] = None, **kwargs):
+    driver = _lookup(experiment_id).run
+    if config is not None:
+        return driver(config=config, **kwargs)
     return driver(**kwargs)

@@ -18,11 +18,15 @@ Usage::
 
 from __future__ import annotations
 
+import functools
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.experiments.expconfig import ExperimentConfig
 from repro.experiments.harness import ExperimentResult
+from repro.obs import metrics as obs_metrics
 
 #: Experiments whose drivers accept a workload ``scale`` kwarg (the
 #: same set ``python -m repro all --scale`` forwards to).
@@ -42,55 +46,16 @@ REFERENCE_SCALE = 0.008
 SweepPoint = Tuple[str, Optional[str], Tuple[Tuple[str, object], ...]]
 
 
-def _figure5_parts() -> List[str]:
-    from repro.experiments.figure5 import PAPER_FIGURE5
-
-    return sorted(PAPER_FIGURE5)
-
-
-def _figure6_parts() -> List[str]:
-    from repro.experiments.figure6 import _ROWS
-
-    return [name for name, _profile, _client in _ROWS]
-
-
-def _figure7_parts() -> List[str]:
-    from repro.apps.spec import CPU2000
-
-    return [b.name for b in CPU2000]
-
-
-def _figure8_parts() -> List[str]:
-    from repro.apps.spec import CPU2006
-
-    return [b.name for b in CPU2006]
-
-
-def _table2_parts() -> List[str]:
-    from repro.experiments.table2 import _SERVER_ROWS, _SPEC_ROWS
-
-    parts = [f"server:{system}:{name}"
-             for system, name, *_rest in _SERVER_ROWS]
-    parts += [f"spec:{system}:{suite}" for system, suite, _ in _SPEC_ROWS]
-    return parts
-
-
-#: experiment id → callable returning its ordered part keys.  Drivers
-#: absent here run as a single point.
-_PART_MAKERS = {
-    "figure5": _figure5_parts,
-    "figure6": _figure6_parts,
-    "figure7": _figure7_parts,
-    "figure8": _figure8_parts,
-    "table2": _table2_parts,
-}
-
-
 def sweep_points(scale: Optional[float] = None,
                  experiments: Optional[Sequence[str]] = None
                  ) -> List[SweepPoint]:
-    """The full sweep as an ordered list of independent points."""
-    from repro.experiments.registry import EXPERIMENTS
+    """The full sweep as an ordered list of independent points.
+
+    Part decomposition comes from each driver's own ``parts()`` hook
+    (via :func:`repro.experiments.registry.experiment_parts`); drivers
+    without one run as a single point.
+    """
+    from repro.experiments.registry import EXPERIMENTS, experiment_parts
 
     ids = sorted(EXPERIMENTS) if experiments is None else list(experiments)
     unknown = [eid for eid in ids if eid not in EXPERIMENTS]
@@ -102,49 +67,38 @@ def sweep_points(scale: Optional[float] = None,
         kwargs: Tuple[Tuple[str, object], ...] = ()
         if scale is not None and eid in SCALED_EXPERIMENTS:
             kwargs = (("scale", scale),)
-        maker = _PART_MAKERS.get(eid)
-        if maker is None:
+        parts = experiment_parts(eid)
+        if parts is None:
             points.append((eid, None, kwargs))
         else:
-            points.extend((eid, part, kwargs) for part in maker())
+            points.extend((eid, part, kwargs) for part in parts)
     return points
 
 
-def run_point(point: SweepPoint) -> ExperimentResult:
+def run_point(point: SweepPoint,
+              collect_metrics: bool = False) -> ExperimentResult:
     """Run one sweep point in isolation (top-level: pickles for the pool).
 
-    Every path below constructs a fresh World/Simulator, so the result
-    depends only on the point itself — never on which process ran it or
-    in what order.
+    Every path constructs a fresh World/Simulator, so the result depends
+    only on the point itself — never on which process ran it or in what
+    order.  With ``collect_metrics`` every session the point creates
+    registers with ``repro.obs`` and the merged snapshot is attached to
+    the fragment's ``metrics``.
     """
+    from repro.experiments.registry import run_experiment
+
     eid, part, kwargs_items = point
     kwargs = dict(kwargs_items)
-    if part is None:
-        from repro.experiments.registry import run_experiment
-
-        return run_experiment(eid, **kwargs)
-    if eid == "figure5":
-        from repro.experiments import figure5
-
-        return figure5.run(servers=(part,), **kwargs)
-    if eid == "figure6":
-        from repro.experiments import figure6
-
-        return figure6.run(rows=(part,), **kwargs)
-    if eid in ("figure7", "figure8"):
-        from repro.apps.spec import ALL_SPEC
-        from repro.experiments import figure7, figure8
-
-        module = figure7 if eid == "figure7" else figure8
-        return module.run(benchmarks=(ALL_SPEC[part],), **kwargs)
-    if eid == "table2":
-        from repro.experiments import table2
-
-        kind, system, name = part.split(":", 2)
-        if kind == "server":
-            return table2.run(rows=((system, name),), suites=(), **kwargs)
-        return table2.run(rows=(), suites=((system, name),), **kwargs)
-    raise KeyError(f"no part decomposition for {eid!r}")
+    config = ExperimentConfig(
+        scale=kwargs.pop("scale", None),
+        parts=None if part is None else (part,),
+        options=tuple(sorted(kwargs.items())))
+    if collect_metrics:
+        obs_metrics.start_collection()
+    result = run_experiment(eid, config=config)
+    if collect_metrics:
+        result.metrics = obs_metrics.drain()
+    return result
 
 
 def merge_results(points: Sequence[SweepPoint],
@@ -154,7 +108,9 @@ def merge_results(points: Sequence[SweepPoint],
 
     Deterministic by construction: fragments are concatenated in point
     order, which is fixed by :func:`sweep_points` regardless of which
-    worker finished first.
+    worker finished first.  Metrics snapshots merge through
+    :func:`repro.obs.metrics.merge_snapshots` (associative, so fragment
+    grouping cannot change the outcome).
     """
     merged: Dict[str, ExperimentResult] = {}
     order: List[str] = []
@@ -164,12 +120,15 @@ def merge_results(points: Sequence[SweepPoint],
             order.append(eid)
         else:
             merged[eid].rows.extend(fragment.rows)
+            if fragment.metrics:
+                merged[eid].metrics = obs_metrics.merge_snapshots(
+                    [merged[eid].metrics, fragment.metrics])
     return [merged[eid] for eid in order]
 
 
 def run_sweep(jobs: int = 1, scale: Optional[float] = None,
-              experiments: Optional[Sequence[str]] = None
-              ) -> List[ExperimentResult]:
+              experiments: Optional[Sequence[str]] = None,
+              collect_metrics: bool = False) -> List[ExperimentResult]:
     """Run the sweep, fanning points out over ``jobs`` processes.
 
     ``jobs <= 1`` runs every point in-process; both paths execute the
@@ -177,17 +136,26 @@ def run_sweep(jobs: int = 1, scale: Optional[float] = None,
     identical order, which is what makes them bit-for-bit comparable.
     """
     points = sweep_points(scale=scale, experiments=experiments)
-    return merge_results(points, run_points(points, jobs))
+    return merge_results(
+        points, run_points(points, jobs, collect_metrics=collect_metrics))
 
 
-def run_points(points: Sequence[SweepPoint],
-               jobs: int) -> List[ExperimentResult]:
+def run_points(points: Sequence[SweepPoint], jobs: int,
+               collect_metrics: bool = False) -> List[ExperimentResult]:
     """Execute a point list serially (``jobs <= 1``) or over a pool."""
+    worker = functools.partial(run_point, collect_metrics=collect_metrics)
     if jobs <= 1:
-        return [run_point(point) for point in points]
+        return [worker(point) for point in points]
     workers = min(jobs, len(points)) or 1
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_point, points))
+        return list(pool.map(worker, points))
+
+
+def render_metrics(results: Iterable[ExperimentResult]) -> str:
+    """Deterministic JSON view of the merged per-experiment metrics."""
+    payload = {result.experiment_id: result.metrics for result in results
+               if result.metrics}
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def render_sweep(results: Iterable[ExperimentResult],

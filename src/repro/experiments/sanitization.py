@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from repro.apps import ServerStats, make_redis, redis_image
 from repro.clients import make_redis_benchmark
-from repro.core.coordinator import NvxSession, VersionSpec
+from repro.core.config import SessionConfig
+from repro.core.coordinator import VersionSpec
+from repro.experiments.expconfig import apply_config
 from repro.experiments.harness import ExperimentResult
 from repro.sanitizers import ASAN, MSAN, TSAN, sanitized_spec
 from repro.world import World
@@ -43,8 +45,8 @@ def _run(sanitizers, scale: float):
                                  make_redis(stats=ServerStats(),
                                             background_thread=False),
                                  image=redis_image()))
-    session = NvxSession(world, specs, daemon=True,
-                         sample_distances=True).start()
+    session = world.nvx(specs, config=SessionConfig(
+        daemon=True, sample_distances=True)).start()
     mains, report = make_redis_benchmark(scale=scale)
     for main in mains:
         world.kernel.spawn_task(world.client, main, name="bench")
@@ -52,7 +54,8 @@ def _run(sanitizers, scale: float):
     return session, report, reports
 
 
-def run(scale: float = 0.05) -> ExperimentResult:
+def run(config=None, scale: float = 0.05) -> ExperimentResult:
+    scale = apply_config(config, scale=scale)["scale"]
     result = ExperimentResult(
         "sanitization-5.3", "Live sanitization of Redis",
         paper_reference=PAPER_SANITIZATION)
@@ -113,7 +116,7 @@ def detect_use_after_free(scale: float = 0.02):
                                   background_thread=False),
                        ASAN, reports),
     ]
-    session = NvxSession(world, specs, daemon=True).start()
+    session = world.nvx(specs, config=SessionConfig(daemon=True)).start()
     mains, _report = make_redis_command_probe(b"HMGET missing f1\r\n")
     for main in mains:
         world.kernel.spawn_task(world.client, main, name="probe")

@@ -20,8 +20,8 @@ from repro.apps.spec import (
     memory_pressure_factor,
     spec_image,
 )
-from repro.core.coordinator import NvxSession, VersionSpec
-from repro.nvx.lockstep import LockstepSession, MonitorProfile
+from repro.core.coordinator import VersionSpec
+from repro.nvx.lockstep import MonitorProfile
 from repro.world import World
 
 
@@ -55,7 +55,7 @@ def run_spec_varan(benchmark: SpecBenchmark, followers: int,
                          make_spec(bench, compute_scale=pressure),
                          image=spec_image(bench))
              for i in range(versions)]
-    session = NvxSession(world, specs, daemon=False).start()
+    session = world.nvx(specs).start()
     finish = {}
 
     def watch():
@@ -85,7 +85,7 @@ def run_spec_lockstep(benchmark: SpecBenchmark,
     specs = [VersionSpec(f"v{i}",
                          make_spec(bench, compute_scale=pressure))
              for i in range(2)]
-    session = LockstepSession(world, specs, profile=profile).start()
+    session = world.lockstep(specs, profile=profile).start()
     world.run()
     return world.now
 

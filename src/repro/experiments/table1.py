@@ -6,7 +6,7 @@ from repro.apps import TABLE_1
 from repro.experiments.harness import ExperimentResult
 
 
-def run() -> ExperimentResult:
+def run(config=None) -> ExperimentResult:
     result = ExperimentResult(
         "table1", "Server applications used in the evaluation",
         paper_reference={row["application"]: row for row in TABLE_1})

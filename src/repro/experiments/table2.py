@@ -22,6 +22,7 @@ from repro.clients import (
     make_http_load,
     make_redis_benchmark,
 )
+from repro.experiments.expconfig import apply_config
 from repro.experiments.harness import (
     MONITOR_NATIVE,
     MONITOR_VARAN,
@@ -90,11 +91,29 @@ def run_server_row(system, name, profile, server, image, client,
     return overhead(native, prior), overhead(native, varan)
 
 
-def run(scale: float = 0.05, spec_scale: float = 0.2,
+def parts():
+    """Sweep decomposition: compound ``kind:system:name`` part keys."""
+    keys = [f"server:{system}:{name}"
+            for system, name, *_rest in _SERVER_ROWS]
+    keys += [f"spec:{system}:{suite}" for system, suite, _ in _SPEC_ROWS]
+    return keys
+
+
+def run(config=None, scale: float = 0.05, spec_scale: float = 0.2,
         rows=None, suites=None) -> ExperimentResult:
     """``rows``/``suites`` select subsets of the server rows / SPEC
     suite rows by (system, name) pairs (sweep-runner decomposition);
     None means all of them, in table order."""
+    opts = apply_config(config, scale=scale, spec_scale=spec_scale,
+                        rows=rows, suites=suites)
+    scale, spec_scale = opts["scale"], opts["spec_scale"]
+    rows, suites = opts["rows"], opts["suites"]
+    if config is not None and config.parts is not None:
+        # Compound part keys: split back into row/suite selectors.
+        rows, suites = [], []
+        for part in config.parts:
+            kind, system, name = part.split(":", 2)
+            (rows if kind == "server" else suites).append((system, name))
     if rows is None:
         server_rows = _SERVER_ROWS
     else:

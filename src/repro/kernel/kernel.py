@@ -57,6 +57,9 @@ class Kernel:
         self.network = network
         self.costs = costs
         self.seed = seed
+        #: Observability hook shared with the simulator; the syscall gate
+        #: reads this per dispatch (one attribute load when disabled).
+        self.tracer = sim.tracer
         self._filesystems: Dict[str, Filesystem] = {}
         self.tasks: Dict[int, Task] = {}
         self._next_pid = 100

@@ -119,6 +119,9 @@ class SyscallGate:
 
     def dispatch(self, call: Syscall):
         """Generator: route one syscall, returning a SysResult."""
+        tracer = self.task.kernel.tracer
+        if tracer is not None:
+            return (yield from self._dispatch_traced(call, tracer))
         self.counts[call.name] += 1
         if self.pre_dispatch is not None:
             yield from self.pre_dispatch(self.task, call)
@@ -130,6 +133,36 @@ class SyscallGate:
             if handler is not None:
                 return (yield from handler(self.task, call))
         return (yield from self.task.kernel.native(self.task, call))
+
+    def _dispatch_traced(self, call: Syscall, tracer):
+        """Same routing as :meth:`dispatch`, wrapped in a syscall span.
+
+        Kept separate so the disabled-tracing hot path pays only one
+        attribute load and None check per dispatch.
+        """
+        sim = self.task.kernel.sim
+        start_ps = sim.now
+        self.counts[call.name] += 1
+        if self.pre_dispatch is not None:
+            yield from self.pre_dispatch(self.task, call)
+        result = None
+        handled = False
+        if self.intercepting:
+            yield Compute(cycles(self.intercept_cost(call)))
+            handler = None
+            if self.table is not None:
+                handler = self.table.get(call.name, self.default_handler)
+            if handler is not None:
+                result = yield from handler(self.task, call)
+                handled = True
+        if not handled:
+            result = yield from self.task.kernel.native(self.task, call)
+        role = (getattr(self, "_varan_role", None)
+                or ("intercept" if self.intercepting else "native"))
+        tracer.span_here(sim, start_ps, "syscall", call.name,
+                         (("retval", getattr(result, "retval", 0)),
+                          ("role", role)))
+        return result
 
 
 class Task:

@@ -26,10 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.core.config import SessionConfig, resolve_session_config
 from repro.costmodel import CostModel, cycles
 from repro.errors import DivergenceError, NvxError
 from repro.kernel.task import VDSO_CALLS
 from repro.kernel.uapi import Syscall, SysResult
+from repro.obs import metrics as obs_metrics
 from repro.sim.core import Compute
 from repro.sim.sync import Barrier, Mutex, WaitQueue
 
@@ -68,16 +70,19 @@ class LockstepSession:
     monitors with one argument.
     """
 
-    def __init__(self, world, specs: List, machine=None,
-                 profile: MonitorProfile = MX_PROFILE,
-                 daemon: bool = False) -> None:
+    def __init__(self, world, specs: List,
+                 config: Optional[SessionConfig] = None,
+                 profile: MonitorProfile = MX_PROFILE, **kwargs) -> None:
         if not specs:
             raise NvxError("lockstep session needs at least one version")
+        cfg = resolve_session_config("LockstepSession", config, kwargs)
         self.world = world
         self.costs: CostModel = world.costs
-        self.machine = machine or world.server
+        self.machine = cfg.machine or world.server
         self.profile = profile
-        self.daemon = daemon
+        self.daemon = cfg.daemon
+        self.tracer = (cfg.tracer if cfg.tracer is not None
+                       else world.tracer)
         self.specs = specs
         self.tasks: List = []
         #: The centralized monitor: a mutex every stop must pass through.
@@ -89,6 +94,7 @@ class LockstepSession:
         self.stats_syscalls = 0
         self.divergence: Optional[str] = None
         self.ready = False
+        obs_metrics.register(self)
 
     # -- setup -------------------------------------------------------------
 
@@ -191,6 +197,16 @@ class LockstepSession:
         if result is None:
             raise NvxError("lockstep: executing version produced no result")
         return result
+
+
+    # -- observability ------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict:
+        reg = obs_metrics.MetricsRegistry()
+        reg.inc("lockstep.stops", self.stats_stops)
+        reg.inc("lockstep.syscalls", self.stats_syscalls)
+        reg.inc("lockstep.divergences", 0 if self.divergence is None else 1)
+        return reg.snapshot()
 
 
 def lockstep_overhead_profile(profile_name: str) -> MonitorProfile:

@@ -8,30 +8,36 @@ Used as the comparison point for Varan's record-replay clients.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
+from repro.core.config import SessionConfig, resolve_session_config
 from repro.costmodel import CostModel, cycles
 from repro.errors import NvxError
 from repro.kernel.uapi import Syscall
+from repro.obs import metrics as obs_metrics
 from repro.sim.core import Compute
 
 
 class ScribeSession:
     """Run versions with Scribe-style kernel recording enabled."""
 
-    def __init__(self, world, specs: List, machine=None,
-                 daemon: bool = False) -> None:
+    def __init__(self, world, specs: List,
+                 config: Optional[SessionConfig] = None, **kwargs) -> None:
         if not specs:
             raise NvxError("scribe session needs at least one version")
+        cfg = resolve_session_config("ScribeSession", config, kwargs)
         self.world = world
         self.costs: CostModel = world.costs
-        self.machine = machine or world.server
-        self.daemon = daemon
+        self.machine = cfg.machine or world.server
+        self.daemon = cfg.daemon
+        self.tracer = (cfg.tracer if cfg.tracer is not None
+                       else world.tracer)
         self.specs = specs
         self.tasks: List = []
         self.events_recorded = 0
         self.bytes_recorded = 0
         self.ready = False
+        obs_metrics.register(self)
 
     def start(self) -> "ScribeSession":
         for index, spec in enumerate(self.specs):
@@ -60,3 +66,11 @@ class ScribeSession:
         task.gate.table = {}
         task.gate.default_handler = recording_dispatch
         task.gate.intercept_cost = lambda call: 0
+
+    # -- observability ------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict:
+        reg = obs_metrics.MetricsRegistry()
+        reg.inc("scribe.events_recorded", self.events_recorded)
+        reg.inc("scribe.bytes_recorded", self.bytes_recorded)
+        return reg.snapshot()

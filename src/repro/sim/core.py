@@ -36,6 +36,7 @@ import heapq
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import DeadlockError, ProcessKilled, SimulationError
+from repro.obs import trace as _obs_trace
 
 #: Sentinel delivered to a ``Block`` that timed out.
 TIMEOUT = object()
@@ -119,7 +120,7 @@ class Simulator:
     """Global event loop with a picosecond virtual clock."""
 
     __slots__ = ("_heap", "_seq", "_now", "_current", "processes",
-                 "events_processed")
+                 "events_processed", "tracer")
 
     def __init__(self) -> None:
         self._heap: List[tuple] = []
@@ -129,6 +130,11 @@ class Simulator:
         self.processes: List["Process"] = []
         #: Non-stale heap entries dispatched so far (perf-harness metric).
         self.events_processed = 0
+        #: Observability hook (repro.obs).  Defaults to the process-wide
+        #: active tracer (None outside `python -m repro trace` / tests),
+        #: so every hot-path emission site is one attribute load plus an
+        #: is-None check when tracing is off.
+        self.tracer = _obs_trace.active()
 
     @property
     def now(self) -> int:
@@ -299,12 +305,22 @@ class Process:
             self.state = RUNNING
             self.sim._post(0, self, self._wake_token,
                            self._cb_spin_resume, value)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(self.sim._now, self.machine.name,
+                               self.name, "wait", "wake",
+                               (("was", "spinning"),))
             return True
         if state == BLOCKED:
             self._wake_token += 1  # invalidates the pending timeout
             self.state = READY
             self._resume_value = value
             self.machine.request_core(self)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(self.sim._now, self.machine.name,
+                               self.name, "wait", "wake",
+                               (("was", "blocked"),))
             return True
         return False
 
@@ -400,6 +416,11 @@ class Process:
             if cmd.timeout_ps is not None:
                 self.sim._post(cmd.timeout_ps, self, self._wake_token,
                                self._cb_on_timeout, None)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(self.sim._now, self.machine.name,
+                               self.name, "wait", "block",
+                               (("spin", cmd.spin),))
         elif cls is Sleep:
             self.state = SLEEPING
             self.machine.release_core(self)

@@ -32,13 +32,20 @@ class _Waiter:
 
 
 class WaitQueue:
-    """FIFO queue of processes waiting for a notification."""
+    """FIFO queue of processes waiting for a notification.
 
-    __slots__ = ("sim", "_waiters")
+    ``name`` is optional observability labelling: named queues emit a
+    ``park`` instant (category ``wait``) to the simulator's tracer when
+    a process parks on them, so ring/coordinator waits are attributable
+    in exported timelines.  Unnamed queues never touch the tracer.
+    """
 
-    def __init__(self, sim: Simulator) -> None:
+    __slots__ = ("sim", "_waiters", "name")
+
+    def __init__(self, sim: Simulator, name: Optional[str] = None) -> None:
         self.sim = sim
         self._waiters: Deque[_Waiter] = deque()
+        self.name = name
 
     def __len__(self) -> int:
         return len(self._waiters)
@@ -56,6 +63,11 @@ class WaitQueue:
         me = self.sim.current_process
         if me is None:
             raise SimulationError("wait() called outside a process")
+        if self.name is not None:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(self.sim.now, me.machine.name, me.name,
+                               "wait", "park", (("queue", self.name),))
         entry = _Waiter(me, ready)
         self._waiters.append(entry)
         value = yield Block(spin=spin, timeout_ps=timeout_ps)
