@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Wall-clock performance harness for the simulation substrate.
 
-Two suites:
+Three suites:
 
 ``substrate``
     Microbenchmarks of the DES engine hot path — events processed per
@@ -10,6 +10,13 @@ Two suites:
     to ``benchmarks/BENCH_substrate.json``; ``--check`` re-measures and
     fails if any workload regressed more than ``--tolerance`` (default
     30%) against the committed numbers — that is the CI smoke gate.
+
+``cpu``
+    Guest-MIPS of the VX86 interpreter on the ``cpu_loop`` workload,
+    through the translation cache and through per-step decode.  Results
+    go to ``benchmarks/BENCH_cpu.json``; ``--check`` fails if cached
+    MIPS regressed beyond ``--tolerance`` *or* the cached/per-step
+    speedup drops below the committed floor (machine-independent).
 
 ``sweep``
     Wall-clock seconds for a representative experiment-sweep slice run
@@ -25,6 +32,9 @@ Usage::
 
     python benchmarks/perf_harness.py substrate
     python benchmarks/perf_harness.py substrate --check --tolerance 0.30
+    python benchmarks/perf_harness.py cpu
+    python benchmarks/perf_harness.py cpu --check
+    python benchmarks/perf_harness.py cpu --profile   # cProfile hot paths
     python benchmarks/perf_harness.py sweep --jobs 2
     python benchmarks/perf_harness.py all
 """
@@ -43,7 +53,13 @@ sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
 SUBSTRATE_JSON = os.path.join(_REPO_ROOT, "benchmarks",
                               "BENCH_substrate.json")
+CPU_JSON = os.path.join(_REPO_ROOT, "benchmarks", "BENCH_cpu.json")
 SWEEP_JSON = os.path.join(_REPO_ROOT, "benchmarks", "BENCH_sweep.json")
+
+#: The cached/per-step guest-MIPS ratio the cpu gate enforces.  Wall
+#: clocks differ across machines but the *ratio* is stable, so this part
+#: of the gate travels.
+CPU_SPEEDUP_FLOOR = 3.0
 
 #: Sweep slice used for the wall-clock benchmark: small enough for CI,
 #: broad enough to exercise servers, failover and the ring ablations.
@@ -140,6 +156,101 @@ def measure_substrate(repeats: int = 3) -> dict:
     return results
 
 
+# -- guest MIPS -------------------------------------------------------------
+
+#: Arithmetic + memory + stack + branch mix, 12 instructions/iteration.
+_CPU_LOOP_SOURCE = """
+    movi rbx, {iterations}
+    movi rcx, 0x20000000
+    movi rdx, 7
+    movi rsi, 3
+loop:
+    add rdx, rsi
+    store [rcx+0], rdx
+    load rax, [rcx+0]
+    add rax, rdx
+    push rax
+    pop rdi
+    addi rdx, 13
+    cmp rdx, rsi
+    subi rbx, 1
+    jnz loop
+    hlt
+"""
+
+
+def _cpu_loop_build(iterations: int, translate: bool):
+    from repro.isa.assembler import assemble
+    from repro.isa.cpu import Cpu
+    from repro.isa.memory import AddressSpace, Segment
+
+    code = assemble(_CPU_LOOP_SOURCE.format(iterations=iterations),
+                    origin=0x1000)
+    space = AddressSpace()
+    space.map(Segment(0x1000, code, perms="rx", name="text"))
+    space.map(Segment(0x2000_0000, bytes(0x1000), perms="rw", name="data"))
+    space.map(Segment(0x7FF0_0000, bytes(0x4000), perms="rw", name="stack"))
+    return Cpu(space, 0x1000, 0x7FF0_4000, name="bench",
+               translate=translate)
+
+
+def cpu_loop(iterations: int = 60_000, translate: bool = True):
+    """Run the guest loop; returns (instructions retired, seconds)."""
+    cpu = _cpu_loop_build(iterations, translate)
+    started = time.perf_counter()
+    cpu.run_sync(max_insns=20_000_000)
+    elapsed = time.perf_counter() - started
+    return cpu.insns_retired, elapsed
+
+
+def measure_cpu(repeats: int = 3, iterations: int = 60_000) -> dict:
+    """Best-of-``repeats`` guest MIPS, cached and per-step decode."""
+    rates = {}
+    insns = 0
+    for label, translate in (("cached", True), ("interp", False)):
+        best = 0.0
+        for _ in range(repeats):
+            insns, elapsed = cpu_loop(iterations, translate=translate)
+            best = max(best, insns / elapsed / 1e6)
+        rates[label] = best
+    return {
+        "cpu_loop": {
+            "instructions": insns,
+            "cached_mips": round(rates["cached"], 3),
+            "interp_mips": round(rates["interp"], 3),
+            "speedup_x": round(rates["cached"] / rates["interp"], 2),
+        }
+    }
+
+
+def check_cpu(measured: dict, tolerance: float) -> int:
+    """Exit status 1 on MIPS regression or a speedup below the floor."""
+    try:
+        with open(CPU_JSON) as fh:
+            committed = json.load(fh)
+    except FileNotFoundError:
+        print(f"no committed baseline at {CPU_JSON}; "
+              f"run without --check first", file=sys.stderr)
+        return 2
+    status = 0
+    for name, entry in committed["workloads"].items():
+        baseline = entry["cached_mips"]
+        current = measured[name]["cached_mips"]
+        floor = baseline * (1.0 - tolerance)
+        verdict = "ok" if current >= floor else "REGRESSED"
+        print(f"{name}: {current:.2f} guest MIPS vs baseline "
+              f"{baseline:.2f} (floor {floor:.2f}) {verdict}")
+        if current < floor:
+            status = 1
+        speedup = measured[name]["speedup_x"]
+        verdict = "ok" if speedup >= CPU_SPEEDUP_FLOOR else "REGRESSED"
+        print(f"{name}: translation-cache speedup {speedup:.2f}x "
+              f"(floor {CPU_SPEEDUP_FLOOR:.1f}x) {verdict}")
+        if speedup < CPU_SPEEDUP_FLOOR:
+            status = 1
+    return status
+
+
 # -- sweep wall-clock -------------------------------------------------------
 
 def measure_sweep(jobs: int) -> dict:
@@ -202,38 +313,71 @@ def check_substrate(measured: dict, tolerance: float) -> int:
     return status
 
 
+def _profiled(fn, *args, **kwargs):
+    """Run ``fn`` under cProfile, print the hottest frames, return its
+    result — the hot-path hunting loop behind every perf PR."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(20)
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("suite", choices=("substrate", "sweep", "all"))
+    parser.add_argument("suite", choices=("substrate", "cpu", "sweep",
+                                          "all"))
     parser.add_argument("--repeats", type=int, default=3,
-                        help="substrate: repetitions, best kept")
+                        help="substrate/cpu: repetitions, best kept")
     parser.add_argument("--jobs", type=int, default=2,
                         help="sweep: parallel worker count to time")
     parser.add_argument("--check", action="store_true",
-                        help="substrate: compare against committed "
-                             "BENCH_substrate.json instead of writing")
+                        help="substrate/cpu: compare against the "
+                             "committed baseline instead of writing")
     parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="substrate --check: allowed fractional "
-                             "events/sec regression (default 0.30)")
+                        help="--check: allowed fractional regression "
+                             "(default 0.30)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the selected suites under cProfile "
+                             "and print the hottest frames")
     args = parser.parse_args(argv)
+    measure = _profiled if args.profile else lambda fn, **kw: fn(**kw)
+    if args.profile:
+        # Profiler overhead distorts the numbers: never write them as a
+        # baseline or judge a regression gate from them.
+        args.check = False
 
     status = 0
     if args.suite in ("substrate", "all"):
-        measured = measure_substrate(repeats=args.repeats)
+        measured = measure(measure_substrate, repeats=args.repeats)
         for name, entry in measured.items():
             print(f"{name}: {entry['events_per_sec']:.0f} events/sec "
                   f"({entry['events']} events)")
         if args.check:
             status = check_substrate(measured, args.tolerance)
-        else:
+        elif not args.profile:
             write_json(SUBSTRATE_JSON,
                        {"meta": _meta(), "workloads": measured})
+    if status == 0 and args.suite in ("cpu", "all"):
+        measured = measure(measure_cpu, repeats=args.repeats)
+        for name, entry in measured.items():
+            print(f"{name}: {entry['cached_mips']:.2f} guest MIPS cached, "
+                  f"{entry['interp_mips']:.2f} per-step "
+                  f"({entry['speedup_x']:.2f}x, "
+                  f"{entry['instructions']} insns)")
+        if args.check:
+            status = check_cpu(measured, args.tolerance)
+        elif not args.profile:
+            write_json(CPU_JSON, {"meta": _meta(), "workloads": measured})
     if status == 0 and args.suite in ("sweep", "all"):
         timed = measure_sweep(jobs=args.jobs)
         for label, entry in timed.items():
             print(f"sweep[{label}]: {entry['seconds']}s "
                   f"({entry['experiments']} experiments)")
-        if not args.check:
+        if not args.check and not args.profile:
             write_json(SWEEP_JSON, {
                 "meta": _meta(),
                 "scale": SWEEP_SCALE,

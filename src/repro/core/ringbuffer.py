@@ -74,10 +74,16 @@ class RingStats:
             samples[slot] = distance
 
     def median_distance(self) -> int:
+        """Lower median of the sampled log distances.
+
+        For even-length reservoirs this takes the lower of the two
+        middle elements (the convention documented in EXPERIMENTS.md),
+        keeping the statistic an actually-observed integer distance.
+        """
         if not self.distance_samples:
             return 0
         ordered = sorted(self.distance_samples)
-        return ordered[len(ordered) // 2]
+        return ordered[(len(ordered) - 1) // 2]
 
 
 class RingBuffer:

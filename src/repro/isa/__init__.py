@@ -14,11 +14,14 @@ from repro.isa.opcodes import (
     BRANCH_MNEMONICS,
     BY_MNEMONIC,
     BY_OPCODE,
+    OP_ID,
+    OPCODE_TO_ID,
     REG_INDEX,
     REGISTERS,
     SYSCALL_ARG_REGS,
     OpSpec,
 )
+from repro.isa.translator import CodeBlock, TranslationCache
 
 __all__ = [
     "assemble",
@@ -33,8 +36,12 @@ __all__ = [
     "BRANCH_MNEMONICS",
     "BY_MNEMONIC",
     "BY_OPCODE",
+    "OP_ID",
+    "OPCODE_TO_ID",
     "REG_INDEX",
     "REGISTERS",
     "SYSCALL_ARG_REGS",
     "OpSpec",
+    "CodeBlock",
+    "TranslationCache",
 ]

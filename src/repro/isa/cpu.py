@@ -7,6 +7,14 @@ instructions and delegates to pluggable *handlers* for ``syscall``,
 generators (so they may block on kernel objects or Varan's ring buffer)
 and return the value to place in RAX.
 
+Execution normally runs through a :class:`~repro.isa.translator.
+TranslationCache`: code is decoded once into basic blocks of pre-bound
+micro-ops and each block's cycles are charged as one batch.  Pass
+``translate=False`` to get the original decode-every-instruction loop —
+the two are observably identical (same registers, cycles, faults and
+sim-time totals; only wall-clock speed and Compute chunking differ),
+which ``tests/test_translator.py`` checks differentially.
+
 For handler-free unit tests, :meth:`Cpu.run_sync` drives execution
 without a simulator.
 """
@@ -20,9 +28,22 @@ from repro.errors import ExecutionFault
 from repro.isa.disassembler import decode_one
 from repro.isa.memory import AddressSpace
 from repro.isa.opcodes import REG_INDEX, REGISTERS
+from repro.isa.translator import (
+    BlockExit,
+    T_BRANCH,
+    T_FALL,
+    T_HLT,
+    T_INT0,
+    T_SYSCALL,
+    T_VMCALL,
+    T_VSYS,
+    TranslationCache,
+)
 from repro.sim.core import Block, Compute
 
 _U64 = 2 ** 64
+_RAX = REG_INDEX["rax"]
+_RSP = REG_INDEX["rsp"]
 
 
 def _wrap(value: int) -> int:
@@ -33,7 +54,7 @@ class Cpu:
     """One hardware thread executing VX86 code."""
 
     def __init__(self, space: AddressSpace, entry: int, stack_top: int,
-                 name: str = "cpu") -> None:
+                 name: str = "cpu", translate: bool = True) -> None:
         self.space = space
         self.regs = [0] * len(REGISTERS)
         self.rip = entry
@@ -41,7 +62,11 @@ class Cpu:
         self.name = name
         self.cycles = 0  # total retired instruction cycles
         self.halted = False
-        self.regs[REG_INDEX["rsp"]] = stack_top
+        self.insns_retired = 0
+        self.regs[_RSP] = stack_top
+        self.tcache: Optional[TranslationCache] = (
+            TranslationCache(space) if translate else None)
+        self._fault_cycles = 0
         # Handler hooks — generator functions taking (cpu,) or (cpu, idx).
         self.syscall_handler: Optional[Callable] = None
         self.int0_handler: Optional[Callable] = None
@@ -63,21 +88,22 @@ class Cpu:
         return value - _U64 if value >= _U64 // 2 else value
 
     def push(self, value: int) -> None:
-        rsp = self.get("rsp") - 8
-        self.set("rsp", rsp)
+        rsp = (self.regs[_RSP] - 8) & (_U64 - 1)
+        self.regs[_RSP] = rsp
         self.space.write_u64(rsp, value)
 
     def pop(self) -> int:
-        rsp = self.get("rsp")
+        rsp = self.regs[_RSP]
         value = self.space.read_u64(rsp)
-        self.set("rsp", rsp + 8)
+        self.regs[_RSP] = (rsp + 8) & (_U64 - 1)
         return value
 
     def snapshot_regs(self) -> list:
         return list(self.regs)
 
     def restore_regs(self, saved: list) -> None:
-        self.regs = list(saved)
+        # In place: translated micro-ops hold a reference to this list.
+        self.regs[:] = saved
 
     # -- execution ---------------------------------------------------------
 
@@ -91,12 +117,153 @@ class Cpu:
 
     def run(self, max_insns: int = 10_000_000,
             batch_cycles: int = 20_000) -> Generator:
-        """Generator: execute until HLT, yielding sim commands."""
+        """Execute until HLT, yielding sim commands (returns a generator)."""
+        if self.tcache is not None:
+            return self._run_cached(max_insns, batch_cycles)
+        return self._run_interp(max_insns, batch_cycles)
+
+    def run_sync(self, max_insns: int = 10_000_000) -> int:
+        """Drive :meth:`run` outside a simulator (tests, tools).
+
+        Compute/Sleep commands are swallowed; a Block (a handler trying
+        to wait) is an error in sync mode.
+        """
+        gen = self.run(max_insns=max_insns)
+        try:
+            cmd = next(gen)
+            while True:
+                if isinstance(cmd, Block):
+                    raise ExecutionFault("handler blocked in run_sync()")
+                cmd = gen.send(None)
+        except StopIteration as stop:
+            return stop.value
+
+    # -- the translated hot loop -------------------------------------------
+
+    def _run_cached(self, max_insns: int, batch_cycles: int) -> Generator:
+        """Block-at-a-time execution through the translation cache.
+
+        Retired-instruction and cycle accounting are per-instruction
+        exact (see translator docstring); only the Compute chunking is
+        coarser — one batch per block run instead of per instruction.
+        """
+        pending = 0
+        executed = 0
+        lookup = self.tcache.lookup
+        while not self.halted:
+            if executed >= max_insns:
+                self.insns_retired = executed
+                raise ExecutionFault(
+                    f"{self.name}: exceeded {max_insns} insns")
+            block = lookup(self)
+            n = block.n_ops
+            remaining = max_insns - executed
+            if remaining > n:
+                try:
+                    for op in block.ops:
+                        op()
+                except BlockExit as bx:
+                    # A store rewrote this block's own code: retire what
+                    # ran and resume at the next instruction, which will
+                    # re-translate against the new bytes.
+                    executed += bx.n_done
+                    self.cycles += bx.cycles_done
+                    pending += bx.cycles_done
+                    self.rip = bx.next_rip
+                    if pending >= batch_cycles:
+                        yield Compute(pending * CYCLE_PS)
+                        pending = 0
+                    continue
+                except BaseException:
+                    self.cycles += self._fault_cycles
+                    self.insns_retired = executed
+                    raise
+                executed += n
+                self.cycles += block.cycles
+                pending += block.cycles
+                term = block.terminator
+                if term == T_BRANCH:
+                    pass  # the last micro-op set rip
+                elif term == T_FALL:
+                    self.rip = block.end_rip
+                elif term == T_HLT:
+                    self.halted = True
+                    self.rip = block.term_addr
+                    executed += 1
+                    self.cycles += block.term_cycles
+                    pending += block.term_cycles
+                    break
+                else:
+                    # Like hardware: rip points past the instruction
+                    # while the handler runs (and is where sigreturn
+                    # resumes for int0).
+                    self.rip = block.term_end
+                    executed += 1
+                    if pending:
+                        yield Compute(pending * CYCLE_PS)
+                        pending = 0
+                    if term == T_SYSCALL:
+                        yield from self._invoke(self.syscall_handler,
+                                                "syscall")
+                    elif term == T_INT0:
+                        yield from self._invoke(self.int0_handler, "int0")
+                    elif term == T_VSYS:
+                        yield from self._invoke(self.vsys_handler, "vsys",
+                                                block.term_arg)
+                    else:
+                        yield from self._invoke(self.vmcall_handler,
+                                                "vmcall")
+                    continue
+                if pending >= batch_cycles:
+                    yield Compute(pending * CYCLE_PS)
+                    pending = 0
+            else:
+                # The max_insns budget expires inside this block: run
+                # micro-ops one by one so the fault carries the exact
+                # rip/cycles the per-step interpreter would report.
+                ops = block.ops
+                i = 0
+                try:
+                    while i < remaining:
+                        ops[i]()
+                        i += 1
+                except BlockExit as bx:
+                    executed += bx.n_done
+                    self.cycles += bx.cycles_done
+                    pending += bx.cycles_done
+                    self.rip = bx.next_rip
+                    if pending >= batch_cycles:
+                        yield Compute(pending * CYCLE_PS)
+                        pending = 0
+                    continue
+                except BaseException:
+                    self.cycles += self._fault_cycles
+                    self.insns_retired = executed + i
+                    raise
+                executed += remaining
+                if remaining:
+                    self.cycles += block.cum[remaining - 1]
+                if not (block.terminator == T_BRANCH and remaining == n):
+                    self.rip = block.bounds[remaining]
+                self.insns_retired = executed
+                raise ExecutionFault(
+                    f"{self.name}: exceeded {max_insns} insns")
+        if pending:
+            yield Compute(pending * CYCLE_PS)
+        self.insns_retired = executed
+        return self.regs[_RAX]
+
+    # -- the reference per-step loop -----------------------------------------
+
+    def _run_interp(self, max_insns: int, batch_cycles: int) -> Generator:
+        """Original decode-every-instruction loop (reference semantics)."""
         pending = 0
         executed = 0
         while not self.halted:
             if executed >= max_insns:
-                raise ExecutionFault(f"{self.name}: exceeded {max_insns} insns")
+                self.insns_retired = executed
+                raise ExecutionFault(
+                    f"{self.name}: exceeded {max_insns} insns")
             insn = self.step_decode()
             executed += 1
             mnemonic = insn.mnemonic
@@ -123,23 +290,8 @@ class Cpu:
             if pending >= batch_cycles:
                 pending = yield from self._flush(pending)
         yield from self._flush(pending)
-        return self.get("rax")
-
-    def run_sync(self, max_insns: int = 10_000_000) -> int:
-        """Drive :meth:`run` outside a simulator (tests, tools).
-
-        Compute/Sleep commands are swallowed; a Block (a handler trying
-        to wait) is an error in sync mode.
-        """
-        gen = self.run(max_insns=max_insns)
-        try:
-            cmd = next(gen)
-            while True:
-                if isinstance(cmd, Block):
-                    raise ExecutionFault("handler blocked in run_sync()")
-                cmd = gen.send(None)
-        except StopIteration as stop:
-            return stop.value
+        self.insns_retired = executed
+        return self.regs[_RAX]
 
     # -- internals ---------------------------------------------------------
 
@@ -153,7 +305,7 @@ class Cpu:
             raise ExecutionFault(f"{self.name}: no {kind} handler installed")
         result = yield from handler(self, *args)
         if result is not None:
-            self.set("rax", result)
+            self.regs[_RAX] = _wrap(result)
 
     def _execute_plain(self, insn) -> bool:
         m = insn.mnemonic
@@ -203,19 +355,17 @@ class Cpu:
             self.regs[ops[0]] = self.pop()
         elif m == "load":
             addr = self.regs[ops[1]] + ops[2]
-            self.regs[ops[0]] = self.space.read_u64(addr) % _U64
+            self.regs[ops[0]] = self.space.read_u64(addr)
         elif m == "store":
             addr = self.regs[ops[1]] + ops[2]
             self.space.write_u64(addr, self.regs[ops[0]])
         elif m == "pusha":
-            rsp = REG_INDEX["rsp"]
             for i, value in enumerate(self.regs):
-                if i != rsp:
+                if i != _RSP:
                     self.push(value)
         elif m == "popa":
-            rsp = REG_INDEX["rsp"]
             for i in reversed(range(len(self.regs))):
-                if i != rsp:
+                if i != _RSP:
                     self.regs[i] = self.pop()
         else:  # pragma: no cover - closed opcode table
             raise ExecutionFault(f"unhandled mnemonic {m}")

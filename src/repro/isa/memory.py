@@ -25,10 +25,14 @@ class Segment:
         self.data = bytearray(data)
         self.perms = perms
         self.name = name
-
-    @property
-    def end(self) -> int:
-        return self.start + len(self.data)
+        #: Bumped on every mutation of :attr:`data` (stores and rewriter
+        #: patches alike).  Translated code blocks record the version they
+        #: were decoded from and are evicted when it no longer matches.
+        self.version = 0
+        # Segment length is fixed after construction (every mutation is
+        # an equal-length splice), so the end is a plain attribute — this
+        # sits on the per-access path of every find/read/write.
+        self.end = start + len(self.data)
 
     def contains(self, addr: int) -> bool:
         return self.start <= addr < self.end
@@ -47,6 +51,10 @@ class AddressSpace:
         #: executable — the hook the rewriter uses to catch code loaded
         #: or re-protected at runtime (§3.2 "whenever code is loaded").
         self.exec_hooks: List = []
+        #: Bumped whenever the segment *layout* changes (map/unmap), so
+        #: address-keyed caches can drop blocks whose address may now
+        #: resolve to a different segment.
+        self.mapping_gen = 0
 
     def map(self, segment: Segment) -> Segment:
         for other in self.segments:
@@ -54,12 +62,14 @@ class AddressSpace:
                 raise ExecutionFault(
                     f"mapping {segment.name} overlaps {other.name}")
         self.segments.append(segment)
+        self.mapping_gen += 1
         if "x" in segment.perms:
             self._fire_exec_hooks(segment)
         return segment
 
     def unmap(self, segment: Segment) -> None:
         self.segments.remove(segment)
+        self.mapping_gen += 1
 
     def find(self, addr: int) -> Segment:
         for segment in self.segments:
@@ -102,13 +112,13 @@ class AddressSpace:
             raise ExecutionFault(f"write crosses segment end at {addr:#x}")
         off = addr - segment.start
         segment.data[off:off + len(data)] = data
+        segment.version += 1
 
     def read_u64(self, addr: int) -> int:
-        return struct.unpack("<q", self.read(addr, 8))[0]
+        return struct.unpack("<Q", self.read(addr, 8))[0]
 
     def write_u64(self, addr: int, value: int) -> None:
-        self.write(addr, struct.pack("<q", value & (2 ** 64 - 1)
-                                     if value >= 0 else value))
+        self.write(addr, struct.pack("<Q", value & (2 ** 64 - 1)))
 
     def fetch_code(self, addr: int, size: int) -> bytes:
         """Instruction fetch: requires execute permission."""
@@ -131,6 +141,7 @@ class AddressSpace:
             raise RewriteError(f"patch crosses segment end at {addr:#x}")
         off = addr - segment.start
         segment.data[off:off + len(data)] = data
+        segment.version += 1
 
     def _fire_exec_hooks(self, segment: Segment) -> None:
         for hook in list(self.exec_hooks):

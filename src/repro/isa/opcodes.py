@@ -92,6 +92,57 @@ BY_OPCODE: Dict[int, OpSpec] = {s.opcode: s for s in _SPECS}
 if len(BY_OPCODE) != len(_SPECS):  # pragma: no cover - sanity at import
     raise AssertionError("duplicate opcode in VX86 spec")
 
+# -- numeric dispatch ---------------------------------------------------
+#
+# Dense instruction ids for table dispatch: the translation cache indexes
+# a compiler table by these instead of comparing mnemonic strings.  The
+# id of a mnemonic is its position in _SPECS; OPCODE_TO_ID maps the raw
+# opcode byte straight to the id (None for undecodable bytes).
+
+OP_ID: Dict[str, int] = {s.mnemonic: i for i, s in enumerate(_SPECS)}
+OP_SPECS: Tuple[OpSpec, ...] = _SPECS
+
+OPCODE_TO_ID: Tuple = tuple(
+    {s.opcode: i for i, s in enumerate(_SPECS)}.get(byte)
+    for byte in range(256))
+
+OP_NOP = OP_ID["nop"]
+OP_SYSCALL = OP_ID["syscall"]
+OP_INT0 = OP_ID["int0"]
+OP_VSYS = OP_ID["vsys"]
+OP_VMCALL = OP_ID["vmcall"]
+OP_HLT = OP_ID["hlt"]
+OP_JMP = OP_ID["jmp"]
+OP_JZ = OP_ID["jz"]
+OP_JNZ = OP_ID["jnz"]
+OP_CALL = OP_ID["call"]
+OP_CALLR = OP_ID["callr"]
+OP_RET = OP_ID["ret"]
+OP_MOV = OP_ID["mov"]
+OP_MOVI = OP_ID["movi"]
+OP_ADD = OP_ID["add"]
+OP_ADDI = OP_ID["addi"]
+OP_SUB = OP_ID["sub"]
+OP_SUBI = OP_ID["subi"]
+OP_CMP = OP_ID["cmp"]
+OP_CMPI = OP_ID["cmpi"]
+OP_PUSH = OP_ID["push"]
+OP_POP = OP_ID["pop"]
+OP_LOAD = OP_ID["load"]
+OP_STORE = OP_ID["store"]
+OP_PUSHA = OP_ID["pusha"]
+OP_POPA = OP_ID["popa"]
+
+#: Ids that terminate a translated block by entering a handler (or halt):
+#: the block must stop *before* executing them so handler semantics and
+#: ``max_insns`` accounting stay per-instruction exact.
+HANDLER_OP_IDS = frozenset(
+    {OP_SYSCALL, OP_INT0, OP_VSYS, OP_VMCALL, OP_HLT})
+
+#: Ids that transfer control — always the last micro-op of their block.
+CONTROL_OP_IDS = frozenset(
+    {OP_JMP, OP_JZ, OP_JNZ, OP_CALL, OP_CALLR, OP_RET})
+
 #: Opcodes that transfer control (their rel32 targets are branch targets).
 BRANCH_MNEMONICS = frozenset({"jmp", "jz", "jnz", "call"})
 

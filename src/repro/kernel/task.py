@@ -107,15 +107,20 @@ class SyscallGate:
         self.counts: Counter = Counter()
         #: Extra per-call dispatch charge (used by ptrace-style monitors).
         self.pre_dispatch: Optional[Callable] = None
+        # Per-dispatch hot path: resolve the three interception costs
+        # once instead of walking cost-model properties per call.
+        self._vdso_cost = costs.intercept.vdso_stub
+        self._slow_cost = costs.intercept.slow_path
+        self._fast_cost = costs.intercept.fast_path
 
     def intercept_cost(self, call: Syscall) -> int:
         """Cycles added by the rewriting-based interception path."""
         if call.name in VDSO_CALLS:
-            return self.costs.intercept.vdso_stub
+            return self._vdso_cost
         kind = self.patch_kinds.get(call.site, PATCH_JMP)
         if kind == PATCH_INT:
-            return self.costs.intercept.slow_path
-        return self.costs.intercept.fast_path
+            return self._slow_cost
+        return self._fast_cost
 
     def dispatch(self, call: Syscall):
         """Generator: route one syscall, returning a SysResult."""

@@ -220,7 +220,7 @@ SIGNAL_NAMES = {SIGHUP: "SIGHUP", SIGINT: "SIGINT", SIGKILL: "SIGKILL",
 
 # -- syscall request / result records ------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class Syscall:
     """One system call as issued by a program.
 
@@ -245,7 +245,7 @@ class Syscall:
         return self.args[index] if index < len(self.args) else default
 
 
-@dataclass
+@dataclass(slots=True)
 class SysResult:
     """What a system call produced.
 

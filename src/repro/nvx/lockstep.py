@@ -94,6 +94,11 @@ class LockstepSession:
         self.stats_syscalls = 0
         self.divergence: Optional[str] = None
         self.ready = False
+        # Per-stop hot path: the ptrace mechanics and the profile's
+        # bookkeeping are constants — price them once.
+        self._stop_overhead = (self.costs.ptrace.stop_cost()
+                               + profile.bookkeeping)
+        self._copy_factor = profile.copy_factor
         obs_metrics.register(self)
 
     # -- setup -------------------------------------------------------------
@@ -137,10 +142,9 @@ class LockstepSession:
     def _ptrace_stop(self, nbytes: int):
         """Generator: one ptrace stop: tracee⇄monitor context switches,
         register access, and word-by-word copying by the monitor."""
-        ptrace = self.costs.ptrace
         self.stats_stops += 1
-        stop = ptrace.stop_cost() + self.profile.bookkeeping
-        copy = ptrace.copy_cost(nbytes) * self.profile.copy_factor
+        stop = self._stop_overhead
+        copy = self.costs.ptrace.copy_cost(nbytes) * self._copy_factor
         # The monitor is centralized: its work is serialised.
         yield from self.monitor_lock.acquire()
         try:

@@ -137,13 +137,21 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
 
 _collecting = False
 _sessions: List = []
+_tcache_base: Dict[str, int] = {}
+
+
+def _tcache_counters() -> Dict[str, int]:
+    """Process-wide translation-cache counters (see isa.translator)."""
+    from repro.isa.translator import GLOBAL_STATS
+    return GLOBAL_STATS.as_dict()
 
 
 def start_collection() -> None:
     """Arm session registration for the sweep point about to run."""
-    global _collecting, _sessions
+    global _collecting, _sessions, _tcache_base
     _collecting = True
     _sessions = []
+    _tcache_base = _tcache_counters()
 
 
 def register(session) -> None:
@@ -155,8 +163,20 @@ def register(session) -> None:
 
 def drain() -> dict:
     """Snapshot every session registered since :func:`start_collection`,
-    merge, and disarm."""
+    merge, and disarm.
+
+    Translation-cache counters are process-global, so the snapshot
+    carries the *delta* since :func:`start_collection` — what this
+    point's guest execution did, independent of which worker process ran
+    it.  The keys are always present (zero for points that execute no
+    guest code) so serial and parallel sweeps merge identically.
+    """
     global _collecting, _sessions
     sessions, _sessions = _sessions, []
     _collecting = False
-    return merge_snapshots(s.metrics_snapshot() for s in sessions)
+    base = _tcache_base
+    tcache = {"counters": {name: value - base.get(name, 0)
+                           for name, value in _tcache_counters().items()}}
+    snapshots = [s.metrics_snapshot() for s in sessions]
+    snapshots.append(tcache)
+    return merge_snapshots(snapshots)

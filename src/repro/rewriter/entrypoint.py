@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.costmodel import CostModel, cycles
 from repro.errors import ExecutionFault
+from repro.isa.opcodes import REG_INDEX
 from repro.rewriter.patchset import PatchSet
 from repro.sim.core import Compute
 
@@ -28,6 +29,9 @@ ret
 #: Number of registers PUSHA saves (all 16 minus RSP itself).
 _SAVED_REGS = 15
 
+#: Per-vmcall hot path: index RSP directly instead of a string lookup.
+_RSP = REG_INDEX["rsp"]
+
 
 def saved_rax_slot(cpu) -> int:
     """Stack address of the saved RAX while inside the entry point.
@@ -35,12 +39,12 @@ def saved_rax_slot(cpu) -> int:
     PUSHA pushes RAX first, so its slot sits just below the return
     address the trampoline's CALL pushed.
     """
-    return cpu.get("rsp") + (_SAVED_REGS - 1) * 8
+    return cpu.regs[_RSP] + (_SAVED_REGS - 1) * 8
 
 
 def return_address(cpu) -> int:
     """The trampoline return address, used to identify the call site."""
-    return cpu.space.read_u64(cpu.get("rsp") + _SAVED_REGS * 8)
+    return cpu.space.read_u64(cpu.regs[_RSP] + _SAVED_REGS * 8)
 
 
 def make_vmcall_handler(patchset: PatchSet, dispatch):

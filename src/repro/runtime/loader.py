@@ -43,6 +43,17 @@ class LoadedImage:
     #: the task's syscall gate.
     patch_kinds: Dict[str, str]
 
+    def make_cpu(self, name: str = "cpu", translate: bool = True):
+        """Convenience: a Cpu positioned at this image's entry point.
+
+        Created *after* rewriting, so the translation cache sees the
+        patched text from the start; later patches are caught by the
+        segment-version invalidation instead.
+        """
+        from repro.isa.cpu import Cpu
+        return Cpu(self.space, self.entry, self.stack_top, name=name,
+                   translate=translate)
+
 
 def load_image(image: Image, seed: int = 0,
                stack_size: int = 0x4000) -> LoadedImage:
@@ -85,7 +96,14 @@ def load_image(image: Image, seed: int = 0,
         if patched is not None:
             patch_kinds[site.name] = patched.kind
     entry = labels.get("entry", image.text_addr)
-    return LoadedImage(image=image, space=space, rewriter=rewriter,
-                       entry=entry, stack_top=stack_top,
-                       vdso_symbols=vdso_symbols, site_addrs=site_addrs,
-                       patch_kinds=patch_kinds)
+    loaded = LoadedImage(image=image, space=space, rewriter=rewriter,
+                         entry=entry, stack_top=stack_top,
+                         vdso_symbols=vdso_symbols, site_addrs=site_addrs,
+                         patch_kinds=patch_kinds)
+    # Pre-translate the entry block of the rewritten text: catches a
+    # rewriter patch that left undecodable bytes on the entry path at
+    # load time rather than first dispatch, and surfaces real
+    # translation activity in the `tcache.*` sweep metrics.
+    check_cpu = loaded.make_cpu(name=f"{image.name}-loadcheck")
+    check_cpu.tcache.lookup(check_cpu)
+    return loaded

@@ -235,3 +235,29 @@ class TestSharedMemoryPool:
     def test_bucket_sizes_cover_cache_line_to_64k(self):
         assert BUCKET_SIZES[0] == 64
         assert BUCKET_SIZES[-1] == 65536
+
+
+class TestRingStatsMedian:
+    def test_lower_median_on_even_reservoir(self):
+        from repro.core.ringbuffer import RingStats
+
+        stats = RingStats()
+        for value in (9, 1, 7, 3):
+            stats.record_distance(value)
+        # Even-length reservoir: the lower of the two middle elements
+        # (3, not the 5.0 midpoint) — the EXPERIMENTS.md convention, and
+        # always an actually-observed distance.
+        assert stats.median_distance() == 3
+
+    def test_odd_reservoir_is_plain_median(self):
+        from repro.core.ringbuffer import RingStats
+
+        stats = RingStats()
+        for value in (10, 2, 6):
+            stats.record_distance(value)
+        assert stats.median_distance() == 6
+
+    def test_empty_reservoir(self):
+        from repro.core.ringbuffer import RingStats
+
+        assert RingStats().median_distance() == 0

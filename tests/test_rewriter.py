@@ -318,3 +318,32 @@ class TestStatsAndSafety:
         assert tramp is not None
         space.mprotect(tramp, "rx")
         assert len(rewriter.patchset.sites) == before
+
+
+class TestTranslationCacheCoherence:
+    def test_patch_after_translate_dispatches_through_trampoline(self):
+        # Translate the unrewritten text first (raw syscall terminator in
+        # the cached block), then rewrite it in place.  If the rewriter's
+        # patch did not evict the stale block, the second run would replay
+        # the raw syscall instead of entering the trampoline.
+        space, rewriter, text = build_world(SIMPLE, auto=False)
+        calls = []
+        cpu = attach_cpu(space, rewriter, recording_dispatch(calls))
+
+        def raw_syscall(inner):
+            calls.append(("raw", inner.get("rax")))
+            return 555
+            yield  # pragma: no cover - generator marker
+
+        cpu.syscall_handler = raw_syscall
+        assert cpu.run_sync() == 655  # 555 + 100, no trampoline involved
+        assert calls == [("raw", 1)]
+
+        rewriter.rewrite_segment(text)
+        cpu.rip = TEXT
+        cpu.halted = False
+        del calls[:]
+        assert cpu.run_sync() == 1101  # dispatch result 1001 + 100
+        assert calls == [(KIND_JMP, 1)]
+        assert (cpu.tcache.stats.invalidations >= 1
+                or cpu.tcache.stats.misses >= 2)
