@@ -9,6 +9,7 @@ Usage::
     python -m repro sweep --jobs 4 --scale 0.008 --check-reference
     python -m repro sweep --jobs 4 --metrics
     python -m repro trace figure4 --out trace.json
+    python -m repro chaos --seed 7 --plans 20
 """
 
 from __future__ import annotations
@@ -24,7 +25,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Varan paper's tables and figures")
     parser.add_argument("experiment",
                         help="experiment id (see 'list'), 'all', 'list', "
-                             "'sweep' or 'trace'")
+                             "'sweep', 'trace' or 'chaos'")
     parser.add_argument("target", nargs="?", default=None,
                         help="(trace) experiment id to trace")
     parser.add_argument("--scale", type=float, default=None,
@@ -45,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jsonl", default=None,
                         help="(trace) also stream raw trace records to "
                              "this JSONL file")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="(chaos) master seed for workloads and "
+                             "fault plans")
+    parser.add_argument("--plans", type=int, default=20,
+                        help="(chaos) number of (workload, fault plan) "
+                             "pairs to run")
     return parser
 
 
@@ -81,6 +88,26 @@ def run_sweep_command(args) -> int:
             return 1
         print("sweep matches benchmarks/reference_sweep.txt")
     return 0
+
+
+def run_chaos_command(args) -> int:
+    """Randomized fault-injection runs under the invariant checker.
+
+    The journal (stdout or --out) is byte-identical across runs of the
+    same --seed/--plans; exit status is non-zero when any surviving
+    variant's output diverged from the fault-free baseline or any NVX
+    invariant was violated.
+    """
+    from repro.faults.chaos import run_chaos
+
+    journal, failures = run_chaos(args.seed, args.plans)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(journal)
+        print(f"[chaos journal written to {args.out}]")
+    else:
+        print(journal, end="")
+    return 1 if failures else 0
 
 
 def run_trace_command(args) -> int:
@@ -135,6 +162,8 @@ def main(argv=None) -> int:
         return run_sweep_command(args)
     if args.experiment == "trace":
         return run_trace_command(args)
+    if args.experiment == "chaos":
+        return run_chaos_command(args)
 
     chosen = (sorted(EXPERIMENTS) if args.experiment == "all"
               else [args.experiment])

@@ -43,6 +43,14 @@ class SessionConfig:
     daemon: bool = False
     sample_distances: bool = False
     tracer: Optional[object] = None
+    #: Scheduled fault injection (``repro.faults.FaultPlan``); None runs
+    #: fault-free.  Only :class:`NvxSession` executes plans.
+    fault_plan: Optional[object] = None
+    #: NVX conformance oracle: None (the default) lets the session build
+    #: its own always-on ``repro.faults.InvariantChecker``; pass an
+    #: explicit checker to share one across sessions, or False to
+    #: disable checking entirely.
+    invariants: Optional[object] = None
 
     def replace(self, **overrides) -> "SessionConfig":
         return replace(self, **overrides)

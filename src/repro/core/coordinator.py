@@ -51,6 +51,14 @@ class Variant:
         self.tasks: List = []
         self.patch_kinds: Dict[str, str] = {}
         self.rewrite_stats = None
+        #: LoadedImage when this version runs a real VX86 image — kept so
+        #: guest-memory fault injection can reach the address space.
+        self.loaded = None
+        #: Leader pid → local pid for children created through replayed
+        #: forks.  The app only ever sees leader pids; after promotion
+        #: the leader table translates pid-bearing calls through this
+        #: map so e.g. wait4 finds the *local* child (§5.1).
+        self.pid_map: Dict[int, int] = {}
 
     @property
     def name(self) -> str:
@@ -70,6 +78,9 @@ class SessionStats:
     promotions: int = 0
     crashes: List = field(default_factory=list)
     fatal_divergences: List = field(default_factory=list)
+    #: Ring integrity failures consumers reported (corruption/torn
+    #: writes), as (variant_name, message, sim_ps) triples.
+    ring_faults: List = field(default_factory=list)
     setup_ps: int = 0
     #: Sim time from crash notification to promotion, per promotion.
     promotion_latencies_ps: List[int] = field(default_factory=list)
@@ -99,6 +110,21 @@ class NvxSession:
         self.tracer = cfg.tracer if cfg.tracer is not None else world.tracer
         self.pool = SharedMemoryPool(world.sim, world.costs)
         self.stats = SessionStats()
+        #: NVX conformance oracle (always on unless invariants=False):
+        #: observes every ring publish/consume and asserts the contract.
+        self.invariants = None
+        if cfg.invariants is not False:
+            if cfg.invariants is None:
+                from repro.faults.invariants import InvariantChecker
+                self.invariants = InvariantChecker()
+            else:
+                self.invariants = cfg.invariants
+            self.invariants.attach_session(self)
+        #: Scheduled fault injection, armed at start().
+        self.injector = None
+        if cfg.fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+            self.injector = FaultInjector(self, cfg.fault_plan)
         self.variants = [Variant(i, spec, self.machine)
                          for i, spec in enumerate(specs)]
         self.variants[cfg.leader_index].is_leader = True
@@ -135,6 +161,8 @@ class NvxSession:
 
     def start(self) -> "NvxSession":
         """Launch the coordinator; versions start once setup completes."""
+        if self.injector is not None:
+            self.injector.arm()
         self.coordinator = self.machine.spawn(
             self._coordinator_main(), name="varan.coordinator", daemon=True)
         return self
@@ -160,7 +188,7 @@ class NvxSession:
                 + self.costs.failover.coordinator_handling))
             if not variant.alive:
                 continue
-            if kind == "crash" and variant.is_leader:
+            if variant.is_leader and kind in ("crash", "corruption"):
                 self._promote_new_leader(variant, reported_ps)
             else:
                 self._drop_follower(variant, kind, info)
@@ -194,6 +222,7 @@ class NvxSession:
         from repro.runtime.loader import load_image
 
         loaded = load_image(variant.spec.image, seed=variant.vid)
+        variant.loaded = loaded
         variant.patch_kinds = loaded.patch_kinds
         variant.rewrite_stats = loaded.rewriter.patchset.stats
         # Charge the scan: ~2 cycles/byte plus per-site patch work.
@@ -211,10 +240,25 @@ class NvxSession:
             monitor = ctx.task.monitor_state
             if monitor is not None and not ctx.task.exited:
                 if variant.is_leader:
+                    # A variant promoted while it was finishing never
+                    # passes through the dispatch path again, so the
+                    # role switch (which drops its stale consumer
+                    # cursor) must complete here before the exit event
+                    # is streamed.  Idempotent for born leaders.
+                    if getattr(ctx.task.gate, "_varan_role",
+                               None) != "leader":
+                        yield from self.await_promotion_complete(ctx.task)
                     yield from monitor.publish_control(EV_EXIT, retval=0)
                 else:
                     outcome = yield from monitor.await_event(True)
-                    if outcome is not PROMOTED and outcome.etype == EV_EXIT:
+                    if outcome is PROMOTED:
+                        # Backlog drained; as the new leader, stream the
+                        # exit so surviving followers are not left
+                        # parked waiting for one (no-op without them).
+                        yield from self.await_promotion_complete(ctx.task)
+                        yield from monitor.publish_control(EV_EXIT,
+                                                           retval=0)
+                    elif outcome.etype == EV_EXIT:
                         yield from monitor.consume(outcome)
             return result
 
@@ -226,6 +270,8 @@ class NvxSession:
         task.gate.patch_kinds = variant.patch_kinds
         install_tables(monitor)
         task.segv_hook = self._crash_hook(variant)
+        if self.injector is not None:
+            self.injector.on_bind(variant, task)
 
     # -- tuples ---------------------------------------------------------------------
 
@@ -240,6 +286,11 @@ class NvxSession:
                           name=f"ring{self._next_tuple_id}",
                           tracer=self.tracer)
         ring.sample_distances = self.sample_distances
+        # Session rings always run with slot integrity checks so injected
+        # corruption surfaces diagnostically; the conformance oracle (if
+        # enabled) rides the same per-ring observer hook.
+        ring.integrity = True
+        ring.observer = self.invariants
         channels = {}
         for variant in self.followers:
             ring.add_consumer(variant.vid)
@@ -295,6 +346,25 @@ class NvxSession:
              self.world.sim.now))
         self.control.notify()
 
+    def report_ring_fault(self, monitor: ReplicaMonitor, exc) -> None:
+        """A consumer observed ring damage (corruption/torn write).
+
+        Schedule the replica's removal: dropping it releases any
+        producer backpressure its cursor was holding, so the session
+        degrades instead of hanging.  A post-promotion leader draining
+        a damaged backlog triggers another promotion.
+        """
+        now = self.world.sim.now
+        self.stats.ring_faults.append((monitor.variant.name, str(exc), now))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant_here(self.world.sim, "failover", "ring_fault",
+                                (("variant", monitor.variant.name),
+                                 ("error", str(exc))))
+        self._pending.append(
+            ("corruption", monitor.variant, monitor.task, str(exc), now))
+        self.control.notify()
+
     def _drop_follower(self, variant: Variant, kind: str = "crash",
                        info=None) -> None:
         """Unsubscribe a crashed/diverged follower; others are unaffected."""
@@ -338,9 +408,21 @@ class NvxSession:
                                  ("new_leader", new_leader.name),
                                  ("latency_ps", latency)))
         for tuple_ in self.tuples:
+            # If the dead leader was itself promoted mid-flight (crash
+            # before await_promotion_complete ran), its consumer cursor
+            # is still registered and would hold producer backpressure
+            # forever.  A born leader has no cursor: this is a no-op.
+            tuple_.ring.remove_consumer(old_leader.vid)
             channel = tuple_.channels.pop(new_leader.vid, None)
             if channel is not None:
                 channel.close()
+            # Everything published so far came from the now-dead regime:
+            # transfers for those events can no longer arrive.  Stamp the
+            # boundary, then wake receivers parked on a dead leader so
+            # they rescue lost descriptors from a mirror.
+            tuple_.regime_boundary = tuple_.ring.head
+            for follower_channel in tuple_.channels.values():
+                follower_channel.notify_failover()
             # Wake every parked replica so it notices the new regime.
             tuple_.ring.wake_all()
 
@@ -361,6 +443,12 @@ class NvxSession:
         reg.inc("session.promotions", stats.promotions)
         reg.inc("session.crashes", len(stats.crashes))
         reg.inc("session.fatal_divergences", len(stats.fatal_divergences))
+        reg.inc("session.ring_faults", len(stats.ring_faults))
+        if self.invariants is not None:
+            reg.inc("invariant.checks",
+                    self.invariants.events_checked
+                    + self.invariants.consumes_checked)
+            reg.inc("invariant.violations", len(self.invariants.violations))
         reg.gauge_max("session.setup_ns", stats.setup_ps // 1000)
         for latency_ps in stats.promotion_latencies_ps:
             reg.observe("failover.promotion_latency_ns", latency_ps // 1000)

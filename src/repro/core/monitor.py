@@ -51,6 +51,12 @@ class RingTuple:
         self.channels = channels
         #: variant id → ReplicaMonitor attached to this tuple.
         self.replicas: Dict[int, "ReplicaMonitor"] = {}
+        #: Highest event clock published by a *dead* leader regime.
+        #: Transfers for events at or below it can never arrive late —
+        #: a crashed leader completes no in-flight sends — so a missing
+        #: one is lost and must be rescued from a mirror.  Maintained
+        #: by the coordinator at each promotion; 0 under a born leader.
+        self.regime_boundary = 0
 
 
 class ReplicaMonitor:
@@ -125,7 +131,10 @@ class ReplicaMonitor:
             for follower_vid, channel in list(self.tuple.channels.items()):
                 if follower_vid == self.vid:
                     continue
-                yield from channel.send_fd(description)
+                # Tag with the *event's* clock, not the live one: a
+                # sibling thread may publish (and bump the shared
+                # clock) while this send is still paying its cost.
+                yield from channel.send_fd(description, clock=event.clock)
         return event
 
     def publish_control(self, etype: str, retval: int = 0,
@@ -148,6 +157,22 @@ class ReplicaMonitor:
     # Follower side
     # =========================================================================
 
+    def _checked_peek(self):
+        """Peek in *this consumer's* context, reporting ring damage.
+
+        An integrity failure (injected slot corruption) is routed to the
+        session — the coordinator drops this replica, which also releases
+        any producer backpressure its dead cursor was holding — and then
+        re-raised so the replica thread dies with the diagnostic.
+        """
+        try:
+            return self.ring.peek(self.vid)
+        except NvxError as exc:
+            report = getattr(self.session, "report_ring_fault", None)
+            if report is not None:
+                report(self, exc)
+            raise
+
     def await_event(self, blocking_hint: bool):
         """Generator: the next event owed to the calling thread.
 
@@ -156,10 +181,19 @@ class ReplicaMonitor:
         """
         my_tindex = self.tindex()
         sim = self.session.world.sim
-        published_ready = (lambda: self.ring.peek(self.vid) is not None
-                           or self.is_leader)
+
+        def published_ready():
+            # Ready predicates run in the *notifier's* context (often
+            # the leader publishing).  A corrupted slot must not unwind
+            # the publisher: report ready and let the woken consumer
+            # re-peek — and fail diagnostically — on its own stack.
+            try:
+                return self.ring.peek(self.vid) is not None or self.is_leader
+            except NvxError:
+                return True
+
         while True:
-            event = self.ring.peek(self.vid)
+            event = self._checked_peek()
             if event is None:
                 # Drained. If we were promoted meanwhile, the backlog of
                 # the crashed leader has now been fully replayed and the
@@ -212,7 +246,15 @@ class ReplicaMonitor:
         if event.payload is not None:
             data = yield from self.session.pool.consume(event.payload)
         self.clock += 1
-        self.ring.advance(self.vid)
+        try:
+            self.ring.advance(self.vid)
+        except NvxError as exc:
+            # Torn-write seal mismatch: report (so the coordinator drops
+            # this replica) and die with the diagnostic.
+            report = getattr(self.session, "report_ring_fault", None)
+            if report is not None:
+                report(self, exc)
+            raise
         return data
 
     def skip_event(self, event: Event):
@@ -238,16 +280,46 @@ class ReplicaMonitor:
                     at=fd_number)
             return event.fd_numbers
         channel = self.tuple.channels.get(self.vid)
-        if channel is None:
-            raise NvxError(f"{self.variant.name}: no data channel")
         installed = []
         for fd_number in event.fd_numbers:
-            description = yield from channel.recv_fd()
+            description = None
+            if channel is not None:
+                description = yield from channel.recv_fd(
+                    event.clock,
+                    lost=lambda: event.clock <= self.tuple.regime_boundary)
             if description is None:
-                raise NvxError(f"{self.variant.name}: channel EOF mid-transfer")
+                # The transfer was lost with a dead leader (or this
+                # replica was promoted mid-drain and its channel is
+                # gone).  Re-duplicate from a surviving replica's
+                # mirrored table — any replica that reached this event
+                # holds the identical description (§3.3.2).
+                description = self._rescue_fd(event, fd_number)
+                if description is None:
+                    raise NvxError(
+                        f"{self.variant.name}: descriptor for {event.name} "
+                        f"fd {fd_number} lost in failover")
+                description.incref()
             self.task.fdtable.install(description, at=fd_number)
             installed.append(fd_number)
         return tuple(installed)
+
+    def _rescue_fd(self, event: Event, fd_number: int):
+        """Find the event's descriptor in another replica's fd table.
+
+        Candidates must have reached the event (``clock >= event.clock``,
+        so their table includes this install); among them the *least*
+        advanced is preferred — a far-ahead replica may already have
+        closed and reused the number.
+        """
+        candidates = sorted(
+            (replica for replica in self.tuple.replicas.values()
+             if replica is not self and replica.clock >= event.clock),
+            key=lambda replica: (replica.clock, replica.vid))
+        for replica in candidates:
+            description = replica.task.fdtable.get(fd_number)
+            if description is not None:
+                return description
+        return None
 
     def divergence(self, call: Syscall, event: Event):
         """Consult the BPF rewrite rules about a mismatch (§3.4).

@@ -40,6 +40,18 @@ DISTANCE_RESERVOIR_CAP = 4096
 _RESERVOIR_SEED = 0x5A5A
 
 
+def event_seal(event: Event) -> tuple:
+    """The integrity seal of an event: every field of the 64-byte event
+    line a torn write could damage.  Captured at publish time and
+    re-derived at consume time; a mismatch means a consumer observed a
+    half-written slot.  The payload is sealed by *pointer* identity only
+    — its bytes live in the shared-memory pool, whose chunks are
+    legitimately recycled once the last reader consumes them."""
+    return (event.etype, event.nr, event.name, event.tindex, event.clock,
+            event.retval, event.args, event.aux, event.fd_numbers,
+            event.fd_count, id(event.payload))
+
+
 class RingStats:
     """Counters a ring keeps for the experiments."""
 
@@ -94,7 +106,7 @@ class RingBuffer:
                  "sample_distances", "tracer", "_sleepers",
                  "_not_full_ready", "_ps_full_check", "_ps_publish",
                  "_ps_waitlock_wake", "_ps_waitlock_sleep",
-                 "_ps_spin_check")
+                 "_ps_spin_check", "integrity", "observer", "_seals")
 
     def __init__(self, sim: Simulator, costs: CostModel,
                  capacity: int = DEFAULT_CAPACITY,
@@ -118,6 +130,16 @@ class RingBuffer:
         self.advanced = WaitQueue(sim, name=f"{name}.advanced")
         self.stats = RingStats()
         self.sample_distances = False
+        #: Slot integrity checking: sessions turn it on so injected ring
+        #: corruption surfaces as a diagnostic NvxError in the consumer
+        #: instead of a silent misreplay or a hang.  Off by default —
+        #: raw rings (benchmark harnesses) pay only the flag test.
+        self.integrity = False
+        #: Optional conformance observer (``repro.faults``): called as
+        #: ``on_publish(ring, event)`` / ``on_consume(ring, vid, event)``.
+        self.observer = None
+        #: seq % capacity → seal captured when the slot was published.
+        self._seals: List[Optional[tuple]] = [None] * capacity
         #: Followers currently parked on the futex-backed waitlock (as
         #: opposed to busy-waiting): only these cost the leader a wake.
         self._sleepers = 0
@@ -194,6 +216,10 @@ class RingBuffer:
         self.slots[self.head % self.capacity] = event
         self.head += 1
         self.stats.published += 1
+        if self.integrity:
+            self._seals[event.seq % self.capacity] = event_seal(event)
+        if self.observer is not None:
+            self.observer.on_publish(self, event)
         if self.sample_distances and self.cursors:
             self.stats.record_distance(self.head - self.min_cursor())
         if tracer is not None:
@@ -217,7 +243,17 @@ class RingBuffer:
         cursor = self.cursors.get(vid)
         if cursor is None or cursor >= self.head:
             return None
-        return self.slots[cursor % self.capacity]
+        event = self.slots[cursor % self.capacity]
+        if self.integrity and event is not None and event.seq != cursor:
+            # Backpressure guarantees a pending slot still holds the
+            # event its consumers are gated on (the producer cannot lap
+            # the slowest cursor), so a sequence mismatch is definitive
+            # evidence of corruption — surface it instead of misreplaying
+            # or hanging.
+            raise NvxError(
+                f"{self.name}: slot corruption at seq {cursor} "
+                f"(consumer {vid} found seq {event.seq} in the slot)")
+        return event
 
     def wait_published(self, blocking_hint: bool, ready) -> None:
         """Generator: wait until ``ready()`` turns true (new event, or a
@@ -277,10 +313,23 @@ class RingBuffer:
 
     def advance(self, vid: int) -> None:
         """Move a variant's gating sequence past the current event."""
-        if vid not in self.cursors:
+        cursor = self.cursors.get(vid)
+        if cursor is None:
             raise NvxError(f"{self.name}: advance by unsubscribed {vid}")
-        self.cursors[vid] += 1
+        event = self.slots[cursor % self.capacity]
+        if self.integrity and event is not None:
+            if event.seq != cursor:
+                raise NvxError(
+                    f"{self.name}: slot corruption at seq {cursor} "
+                    f"(consumer {vid} found seq {event.seq} in the slot)")
+            if event_seal(event) != self._seals[cursor % self.capacity]:
+                raise NvxError(
+                    f"{self.name}: torn write at seq {cursor} (consumer "
+                    f"{vid} observed fields differing from the publish)")
+        self.cursors[vid] = cursor + 1
         self.stats.consumed += 1
+        if self.observer is not None and event is not None:
+            self.observer.on_consume(self, vid, event)
         tracer = self.tracer
         if tracer is not None:
             tracer.instant_here(

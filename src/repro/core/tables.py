@@ -37,6 +37,12 @@ LOCAL_CALLS = frozenset({
 #: already mutated the shared object, and replaying it would double-apply.
 EXEC_LOCAL_AFTER_CONSUME = frozenset({"close", "chdir", "umask"})
 
+#: Calls whose argument at the given index is a pid the application
+#: obtained from a (possibly replayed) fork.  A promoted leader must
+#: translate these through its variant's pid map — the app holds the
+#: dead leader's pids, not this variant's local ones (§5.1).
+PID_ARG_CALLS = {"wait4": 0, "kill": 0}
+
 
 def install_tables(monitor: ReplicaMonitor) -> None:
     """(Re)install the role-appropriate table into the task's gate."""
@@ -64,8 +70,25 @@ def make_leader_table(monitor: ReplicaMonitor):
     def local(task, call):
         return (yield from kernel.native(task, call))
 
+    def _virtualized(call):
+        """Map leader pids in pid-bearing arguments to local pids.
+
+        A no-op for born leaders (empty map) and for pids the map does
+        not know (the variant's own native children).
+        """
+        pid_map = monitor.variant.pid_map
+        index = PID_ARG_CALLS.get(call.name)
+        if index is None or not pid_map:
+            return call
+        local_pid = pid_map.get(call.arg(index))
+        if local_pid is None:
+            return call
+        args = call.args[:index] + (local_pid,) + call.args[index + 1:]
+        return Syscall(call.name, args, site=call.site, data=call.data,
+                       nbytes=call.nbytes)
+
     def default(task, call):
-        result = yield from kernel.native(task, call)
+        result = yield from kernel.native(task, _virtualized(call))
         transfer = []
         for fd in result.new_fds:
             description = task.fdtable.get(fd)
@@ -203,6 +226,10 @@ def make_follower_table(monitor: ReplicaMonitor):
         child_task = kernel._fork_task(task, call.arg(0))
         session.attach_follower_child(monitor.variant, child_task,
                                       event.aux[0])
+        # The app receives the *leader's* child pid; remember which
+        # local task it denotes so a post-promotion wait4/kill on it
+        # reaches the right child.
+        monitor.variant.pid_map[event.retval] = child_task.pid
         return SysResult(event.retval)
 
     def follower_clone(task, call):

@@ -86,6 +86,7 @@ def run_point(point: SweepPoint,
     the fragment's ``metrics``.
     """
     from repro.experiments.registry import run_experiment
+    from repro.faults import invariants as _invariants
 
     eid, part, kwargs_items = point
     kwargs = dict(kwargs_items)
@@ -95,7 +96,16 @@ def run_point(point: SweepPoint,
         options=tuple(sorted(kwargs.items())))
     if collect_metrics:
         obs_metrics.start_collection()
+    # Every session a point creates runs with the NVX conformance oracle
+    # enabled; the process-wide counter catches violations regardless of
+    # which checker instance (or worker process) observed them.
+    violations_before = _invariants.process_violations()
     result = run_experiment(eid, config=config)
+    fresh = _invariants.process_violations() - violations_before
+    if fresh:
+        raise AssertionError(
+            f"sweep point {eid}/{part or 'all'}: {fresh} NVX invariant "
+            f"violation(s) during a reference experiment")
     if collect_metrics:
         result.metrics = obs_metrics.drain()
     return result

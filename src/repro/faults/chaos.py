@@ -1,0 +1,329 @@
+"""Randomized chaos runs: seeded workloads under seeded fault plans.
+
+``python -m repro chaos --seed N --plans K`` draws K (workload, fault
+plan) pairs from one seed and runs each twice:
+
+1. a **baseline** run with no faults, which yields the workload's
+   expected outputs and the sim-time horizon faults are drawn from;
+2. a **faulted** run of the *same* workload under the plan, with the
+   always-on :class:`~repro.faults.invariants.InvariantChecker`
+   attached.
+
+The conformance statement checked per plan:
+
+* every surviving variant produced exactly the baseline outputs
+  (survivor-output equality — fault tolerance did not change results);
+* the invariant checker observed **zero** violations, even in the
+  faulted run — injected ring damage must be caught by the ring's own
+  integrity machinery (and surface as a diagnostic drop/failover)
+  *before* it ever reaches a consumer as data.
+
+Everything — the data file, the workload parameters, the plan, the
+journal text — derives from ``random.Random(seed)`` and sim state, so
+two runs of the same seed emit byte-identical journals.  Workload
+outputs are digests over syscall *data and deterministic return
+values*; wall-clock-like values (``time()``, pids) are exercised but
+never digested, because a failover legitimately shifts them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.core import NvxSession, VersionSpec
+from repro.core.config import SessionConfig
+from repro.errors import DeadlockError
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
+from repro.world import World
+
+#: Path and size of the deterministic data file every workload reads.
+DATA_PATH = "/chaos/data"
+DATA_SIZE = 4096
+
+#: Ring capacity for chaos sessions: small enough that backpressure and
+#: pending-slot windows actually occur.
+RING_CAPACITY = 16
+
+
+def _digest(parts) -> str:
+    """Order-stable digest of a list of bytes/ints/strings."""
+    h = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            h.update(part)
+        else:
+            h.update(str(part).encode())
+        h.update(b"|")
+    return h.hexdigest()[:16]
+
+
+def _reads(rng: random.Random, n_lo: int = 3, n_hi: int = 8
+           ) -> List[Tuple[int, int]]:
+    return [(rng.randrange(0, DATA_SIZE - 64), rng.randint(1, 64))
+            for _ in range(rng.randint(n_lo, n_hi))]
+
+
+# -- the workload family ------------------------------------------------------
+#
+# Each builder draws its parameters from ``rng`` ONCE (so baseline and
+# faulted runs execute the identical program) and returns a factory
+# producing a fresh ``main`` bound to a per-run ``outputs`` dict keyed
+# by ``(vid, tag)``.
+
+def _wl_pread_mix(rng: random.Random):
+    reads = _reads(rng)
+
+    def build(outputs: Dict):
+        def main(ctx):
+            vid = ctx.task.monitor_state.variant.vid
+            parts = []
+            fd = yield from ctx.open(DATA_PATH)
+            for off, size in reads:
+                parts.append((yield from ctx.pread(fd, size, off)))
+            yield from ctx.close(fd)
+            outputs[(vid, "main")] = _digest(parts)
+            return outputs[(vid, "main")]
+        return main
+    return "pread-mix", build
+
+
+def _wl_rw_cycle(rng: random.Random):
+    from repro.kernel.uapi import O_CREAT, O_WRONLY
+
+    chunks = [bytes([rng.randrange(256)]) * rng.randint(1, 96)
+              for _ in range(rng.randint(3, 8))]
+    reads = _reads(rng, 2, 4)
+
+    def build(outputs: Dict):
+        def main(ctx):
+            vid = ctx.task.monitor_state.variant.vid
+            parts = []
+            out_fd = yield from ctx.open("/chaos/scratch",
+                                         O_WRONLY | O_CREAT)
+            for chunk in chunks:
+                # write retvals are deterministic (len); the file is
+                # never read back — a leader crash between execute and
+                # publish may legitimately double-write it.
+                parts.append((yield from ctx.write(out_fd, chunk)))
+            yield from ctx.close(out_fd)
+            in_fd = yield from ctx.open(DATA_PATH)
+            for off, size in reads:
+                parts.append((yield from ctx.pread(in_fd, size, off)))
+            yield from ctx.close(in_fd)
+            outputs[(vid, "main")] = _digest(parts)
+            return outputs[(vid, "main")]
+        return main
+    return "rw-cycle", build
+
+
+def _wl_spin_sleep(rng: random.Random):
+    steps = [(rng.randint(500, 5000), rng.randint(1_000, 100_000))
+             for _ in range(rng.randint(2, 5))]
+
+    def build(outputs: Dict):
+        def main(ctx):
+            vid = ctx.task.monitor_state.variant.vid
+            parts = []
+            for ncycles, sleep_ps in steps:
+                yield from ctx.compute(ncycles)
+                parts.append((yield from ctx.nanosleep(sleep_ps)))
+                # Exercise the time path but exclude the value: a
+                # failover shifts wall-clock reads without being wrong.
+                yield from ctx.time()
+                parts.append((yield from ctx.getuid()))
+            outputs[(vid, "main")] = _digest(parts)
+            return outputs[(vid, "main")]
+        return main
+    return "spin-sleep", build
+
+
+def _wl_threads(rng: random.Random):
+    thread_reads = [_reads(rng, 2, 5) for _ in range(2)]
+    main_reads = _reads(rng, 2, 5)
+
+    def build(outputs: Dict):
+        def main(ctx):
+            vid = ctx.task.monitor_state.variant.vid
+
+            def worker(tix, offs):
+                def tmain(tctx):
+                    parts = []
+                    fd = yield from tctx.open(DATA_PATH)
+                    for off, size in offs:
+                        parts.append((yield from tctx.pread(fd, size,
+                                                            off)))
+                    yield from tctx.close(fd)
+                    outputs[(vid, f"t{tix}")] = _digest(parts)
+                return tmain
+
+            for tix, offs in enumerate(thread_reads):
+                yield from ctx.spawn_thread(worker(tix, offs))
+            parts = []
+            fd = yield from ctx.open(DATA_PATH)
+            for off, size in main_reads:
+                parts.append((yield from ctx.pread(fd, size, off)))
+            yield from ctx.close(fd)
+            outputs[(vid, "main")] = _digest(parts)
+            return outputs[(vid, "main")]
+        return main
+    return "threads", build
+
+
+def _wl_fork_child(rng: random.Random):
+    child_reads = _reads(rng, 2, 5)
+    parent_reads = _reads(rng, 2, 5)
+
+    def build(outputs: Dict):
+        def main(ctx):
+            vid = ctx.task.monitor_state.variant.vid
+
+            def child(cctx):
+                cvid = cctx.task.monitor_state.variant.vid
+                parts = []
+                fd = yield from cctx.open(DATA_PATH)
+                for off, size in child_reads:
+                    parts.append((yield from cctx.pread(fd, size, off)))
+                yield from cctx.close(fd)
+                outputs[(cvid, "child")] = _digest(parts)
+
+            pid = yield from ctx.fork(child)
+            parts = []
+            fd = yield from ctx.open(DATA_PATH)
+            for off, size in parent_reads:
+                parts.append((yield from ctx.pread(fd, size, off)))
+            yield from ctx.close(fd)
+            yield from ctx.wait4(pid)
+            outputs[(vid, "main")] = _digest(parts)
+            return outputs[(vid, "main")]
+        return main
+    return "fork-child", build
+
+
+WORKLOADS: Tuple[Callable, ...] = (
+    _wl_pread_mix, _wl_rw_cycle, _wl_spin_sleep, _wl_threads,
+    _wl_fork_child,
+)
+
+
+# -- one plan = baseline run + faulted run ------------------------------------
+
+def _run_workload(build, data: bytes, n_variants: int, plan,
+                  checker: InvariantChecker):
+    """One session run; returns (session, world, outputs, deadlock)."""
+    world = World()
+    world.kernel.fs(world.server).create(DATA_PATH, data)
+    outputs: Dict = {}
+    main = build(outputs)
+    specs = [VersionSpec(f"v{i}", main) for i in range(n_variants)]
+    config = SessionConfig(fault_plan=plan, invariants=checker,
+                           ring_capacity=RING_CAPACITY)
+    session = NvxSession(world, specs, config=config).start()
+    deadlock = None
+    try:
+        world.run()
+    except DeadlockError as exc:
+        deadlock = str(exc)
+    checker.final_check()
+    return session, world, outputs, deadlock
+
+
+def run_plan(seed: int, index: int) -> Tuple[List[str], int, int]:
+    """Run chaos plan ``index`` of ``seed``.
+
+    Returns ``(journal_lines, output_mismatches, invariant_violations)``.
+    """
+    # int-arithmetic derivation: identical across processes and runs.
+    rng = random.Random(seed * 1000003 + index)
+    n_variants = rng.randint(2, 3)
+    data = bytes(rng.randrange(256) for _ in range(DATA_SIZE))
+    name, build = WORKLOADS[rng.randrange(len(WORKLOADS))](rng)
+
+    lines = [f"plan {index}: workload={name} variants={n_variants} "
+             f"data={_digest([data])}"]
+    mismatches = 0
+
+    # Baseline: expected outputs + the horizon faults are drawn from.
+    base_checker = InvariantChecker(roundtrip_every=1)
+    base_session, base_world, base_outputs, base_dead = _run_workload(
+        build, data, n_variants, None, base_checker)
+    horizon = base_world.sim.now
+    lines.append(f"  baseline: horizon={horizon}ps "
+                 f"outputs={len(base_outputs)} ({base_checker.summary()})")
+    if base_dead is not None:
+        lines.append(f"  baseline DEADLOCK: {base_dead}")
+        mismatches += 1
+
+    # The expected output per tag is the baseline leader's digest; every
+    # baseline variant must already agree with it (NVX correctness).
+    reference: Dict[str, str] = {
+        tag: digest for (vid, tag), digest in sorted(base_outputs.items())
+        if vid == 0}
+    for vid in range(n_variants):
+        for tag, expected in reference.items():
+            if base_outputs.get((vid, tag)) != expected:
+                lines.append(f"  baseline MISMATCH: v{vid}/{tag}: "
+                             f"{base_outputs.get((vid, tag))} != "
+                             f"{expected}")
+                mismatches += 1
+
+    # Faulted run of the identical workload.
+    plan = FaultPlan.random(rng, n_variants, max(2, horizon))
+    lines.append(f"  plan: {plan.describe()}")
+    fault_checker = InvariantChecker(roundtrip_every=1)
+    session, _world, outputs, dead = _run_workload(
+        build, data, n_variants, plan, fault_checker)
+    for entry in session.injector.log:
+        lines.append(f"  inject: {entry}")
+    if dead is not None:
+        lines.append(f"  fault-run DEADLOCK: {dead}")
+        mismatches += 1
+
+    survivors = [v for v in session.variants if v.alive]
+    if not survivors:
+        lines.append("  survivors: none (cascading faults)")
+    else:
+        tags = ["{}v{}".format("*" if v.is_leader else "", v.vid)
+                for v in survivors]
+        lines.append(f"  survivors: {' '.join(tags)}")
+        checked = 0
+        for variant in survivors:
+            for tag, expected in reference.items():
+                got = outputs.get((variant.vid, tag))
+                checked += 1
+                if got != expected:
+                    mismatches += 1
+                    lines.append(
+                        f"  output MISMATCH: v{variant.vid}/{tag}: "
+                        f"{got} != {expected}")
+        lines.append(f"  outputs: {checked} survivor outputs checked "
+                     f"against baseline")
+    lines.append(f"  fault-run {fault_checker.summary()}")
+    violations = (len(base_checker.violations)
+                  + len(fault_checker.violations))
+    for message in base_checker.violations + fault_checker.violations:
+        lines.append(f"  VIOLATION: {message}")
+    status = "OK" if not mismatches and not violations else "FAIL"
+    lines.append(f"  result: {status}")
+    return lines, mismatches, violations
+
+
+def run_chaos(seed: int, plans: int) -> Tuple[str, int]:
+    """Run ``plans`` chaos plans; returns ``(journal_text, failures)``.
+
+    The journal is byte-identical across runs of the same arguments;
+    ``failures`` counts output mismatches plus invariant violations.
+    """
+    lines = [f"# chaos seed={seed} plans={plans}"]
+    total_mismatches = 0
+    total_violations = 0
+    for index in range(plans):
+        plan_lines, mismatches, violations = run_plan(seed, index)
+        lines.extend(plan_lines)
+        total_mismatches += mismatches
+        total_violations += violations
+    lines.append(f"total: {plans} plans, {total_mismatches} output "
+                 f"mismatches, {total_violations} invariant violations")
+    return "\n".join(lines) + "\n", total_mismatches + total_violations

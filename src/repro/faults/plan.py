@@ -1,0 +1,172 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is an ordered collection of :class:`Fault` records,
+each firing exactly once at a *sim-time* trigger (``at_ps``) or a
+*syscall-index* trigger (``at_syscall``: the N-th system call the target
+variant dispatches).  Plans are plain data: building one never touches
+the simulator, and :meth:`FaultPlan.random` derives everything from a
+caller-supplied :class:`random.Random`, so a seed fully determines the
+plan.  ``describe()`` renders a canonical one-line form used by the
+chaos journal (byte-identical across runs of the same seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Optional, Tuple
+
+from repro.errors import NvxError
+
+#: Kill the target variant (SIGSEGV path; leader crashes promote).
+CRASH = "crash"
+#: Slow every syscall the target variant dispatches for a window.
+STALL = "stall"
+#: Overwrite a pending ring slot's sequence number (a lost/overwritten
+#: publish).  Consumers must surface it as a diagnostic NvxError.
+CORRUPT_SLOT = "corrupt_slot"
+#: Half-written event: mutate payload-describing fields of a pending
+#: slot without updating its integrity seal.
+TORN_WRITE = "torn_write"
+#: Network partition between two machines for a window (messages are
+#: held and delivered when the partition heals — TCP retransmission).
+PARTITION = "partition"
+#: Per-message loss: each message in the window is delayed by one
+#: retransmission timeout.
+PACKET_LOSS = "packet_loss"
+#: Flip one bit of guest (VX86) memory in the target variant's image.
+BITFLIP = "bitflip"
+
+#: Kinds that target a variant.
+VARIANT_KINDS = frozenset({CRASH, STALL, BITFLIP})
+#: Kinds that target a ring tuple.
+RING_KINDS = frozenset({CORRUPT_SLOT, TORN_WRITE})
+#: Kinds that target the network.
+NETWORK_KINDS = frozenset({PARTITION, PACKET_LOSS})
+
+ALL_KINDS = VARIANT_KINDS | RING_KINDS | NETWORK_KINDS
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault."""
+
+    kind: str
+    #: Target variant index (CRASH/STALL/BITFLIP); -1 = whoever is the
+    #: leader when the fault fires.
+    variant: int = -1
+    #: Sim-time trigger, picoseconds.  Exactly one of at_ps/at_syscall.
+    at_ps: Optional[int] = None
+    #: Syscall-index trigger: fires just before the target variant
+    #: dispatches its N-th system call (counted across its tasks).
+    at_syscall: Optional[int] = None
+    #: STALL: extra cycles charged per dispatch inside the window.
+    stall_cycles: int = 0
+    #: STALL/PARTITION/PACKET_LOSS window length, picoseconds.
+    duration_ps: int = 0
+    #: CORRUPT_SLOT/TORN_WRITE: ring tuple id to poison.
+    ring: int = 0
+    #: CORRUPT_SLOT/TORN_WRITE: offset into the pending window selecting
+    #: which in-flight slot to poison (modulo the number pending).
+    slot_offset: int = 0
+    #: BITFLIP: guest address and bit number to flip.
+    addr: int = 0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise NvxError(f"unknown fault kind {self.kind!r}")
+        if (self.at_ps is None) == (self.at_syscall is None):
+            raise NvxError(
+                f"fault {self.kind}: exactly one of at_ps/at_syscall "
+                f"must be set")
+        if self.at_syscall is not None and self.kind not in VARIANT_KINDS:
+            raise NvxError(
+                f"fault {self.kind}: syscall-index triggers only apply "
+                f"to variant-targeted faults")
+
+    def describe(self) -> str:
+        """Canonical journal form, stable across processes and runs."""
+        trigger = (f"t={self.at_ps}" if self.at_ps is not None
+                   else f"sys={self.at_syscall}")
+        target = ""
+        if self.kind in VARIANT_KINDS:
+            target = f" v{self.variant}" if self.variant >= 0 else " leader"
+        extra = ""
+        if self.kind == STALL:
+            extra = f" stall={self.stall_cycles}c/{self.duration_ps}ps"
+        elif self.kind in RING_KINDS:
+            extra = f" ring={self.ring} slot+{self.slot_offset}"
+        elif self.kind in NETWORK_KINDS:
+            extra = f" window={self.duration_ps}ps"
+        elif self.kind == BITFLIP:
+            extra = f" addr={self.addr:#x} bit={self.bit}"
+        return f"{self.kind}[{trigger}{target}{extra}]"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults for one session run."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "(no faults)"
+        return " ".join(f.describe() for f in self.faults)
+
+    @staticmethod
+    def random(rng: Random, n_variants: int, horizon_ps: int,
+               max_faults: int = 3,
+               kinds: Tuple[str, ...] = (CRASH, CRASH, STALL,
+                                         CORRUPT_SLOT, TORN_WRITE),
+               ) -> "FaultPlan":
+        """Draw a random plan from ``rng`` (fully seed-determined).
+
+        ``horizon_ps`` bounds sim-time triggers (usually the fault-free
+        run's duration); syscall-index triggers are drawn small so they
+        land inside short workloads.  ``kinds`` may repeat entries to
+        weight the draw.  At most one variant is crashed per plan *per
+        variant index*, so at least one variant always survives.
+        """
+        faults = []
+        crashed = set()
+        for _ in range(rng.randint(1, max_faults)):
+            kind = kinds[rng.randrange(len(kinds))]
+            if kind == CRASH:
+                candidates = [v for v in range(n_variants)
+                              if v not in crashed]
+                if len(candidates) <= 1:
+                    continue  # keep one survivor
+                variant = candidates[rng.randrange(len(candidates))]
+                crashed.add(variant)
+                if rng.random() < 0.5:
+                    faults.append(Fault(CRASH, variant=variant,
+                                        at_syscall=rng.randint(1, 12)))
+                else:
+                    faults.append(Fault(
+                        CRASH, variant=variant,
+                        at_ps=rng.randint(1, max(2, horizon_ps))))
+            elif kind == STALL:
+                faults.append(Fault(
+                    STALL, variant=rng.randrange(n_variants),
+                    at_syscall=rng.randint(1, 8),
+                    stall_cycles=rng.randint(2_000, 50_000),
+                    duration_ps=rng.randint(1, max(2, horizon_ps // 2))))
+            elif kind in RING_KINDS:
+                faults.append(Fault(
+                    kind, at_ps=rng.randint(1, max(2, horizon_ps)),
+                    ring=0, slot_offset=rng.randrange(8)))
+            elif kind in NETWORK_KINDS:
+                faults.append(Fault(
+                    kind, at_ps=rng.randint(1, max(2, horizon_ps)),
+                    duration_ps=rng.randint(1, max(2, horizon_ps // 4))))
+            elif kind == BITFLIP:
+                faults.append(Fault(
+                    BITFLIP, variant=rng.randrange(n_variants),
+                    at_ps=rng.randint(1, max(2, horizon_ps)),
+                    addr=rng.randrange(1 << 16), bit=rng.randrange(8)))
+        return FaultPlan(tuple(faults))

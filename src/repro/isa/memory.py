@@ -143,6 +143,23 @@ class AddressSpace:
         segment.data[off:off + len(data)] = data
         segment.version += 1
 
+    def bitflip(self, addr: int, bit: int) -> bool:
+        """Flip one bit of mapped memory (fault injection).
+
+        Bypasses permission checks — a cosmic ray does not consult the
+        page tables — but bumps the segment version so translated code
+        caching the old bytes is invalidated, exactly as any other
+        mutation would.  Returns False when ``addr`` is unmapped (the
+        injector journals the skip instead of faulting).
+        """
+        for segment in self.segments:
+            if segment.contains(addr):
+                off = addr - segment.start
+                segment.data[off] ^= 1 << (bit & 7)
+                segment.version += 1
+                return True
+        return False
+
     def _fire_exec_hooks(self, segment: Segment) -> None:
         for hook in list(self.exec_hooks):
             hook(segment)

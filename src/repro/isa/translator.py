@@ -386,10 +386,13 @@ def _c_push(insn, ctx):
     bail = BlockExit(ctx.next_addr, ctx.cyc_after, ctx.n_done)
 
     def op():
+        # Read the source before moving rsp, like the interpreter does
+        # (matters for `push rsp`, which stores the *old* value).
+        value = regs[s]
         rsp = (regs[_RSP] - 8) & _MASK
         regs[_RSP] = rsp
         try:
-            write_u64(rsp, regs[s])
+            write_u64(rsp, value)
         except BaseException:
             cpu.rip = fault_addr
             cpu._fault_cycles = cyc_before

@@ -38,7 +38,7 @@ class Epoll(FileDescription):
                 return -EEXIST
             self.interest[fd] = (description, events)
             if hasattr(description, "watchers"):
-                description.watchers.add(self)
+                description.watchers[self] = None
         elif op == EPOLL_CTL_MOD:
             if fd not in self.interest:
                 return -ENOENT
@@ -48,7 +48,7 @@ class Epoll(FileDescription):
                 return -ENOENT
             description, _ = self.interest.pop(fd)
             if hasattr(description, "watchers"):
-                description.watchers.discard(self)
+                description.watchers.pop(self, None)
         else:
             return -EBADF
         self.poke_all()
@@ -72,7 +72,7 @@ class Epoll(FileDescription):
         for fd in dead:
             description, _ = self.interest.pop(fd)
             if hasattr(description, "watchers"):
-                description.watchers.discard(self)
+                description.watchers.pop(self, None)
         return out
 
     def wait(self, max_events: int, timeout_ps=None):
@@ -97,5 +97,5 @@ class Epoll(FileDescription):
     def on_last_close(self) -> None:
         for description, _ in self.interest.values():
             if hasattr(description, "watchers"):
-                description.watchers.discard(self)
+                description.watchers.pop(self, None)
         self.interest.clear()

@@ -8,7 +8,7 @@ buffers notify epoll watchers and blocked readers on state changes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Set, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from repro.kernel.uapi import (
     EAGAIN,
@@ -29,7 +29,12 @@ class Pollable(FileDescription):
     def __init__(self, sim) -> None:
         super().__init__()
         self.sim = sim
-        self.watchers: Set = set()  # Epoll instances
+        #: Epoll instances watching this description, in registration
+        #: order.  A dict, not a set: ``poke`` iterates it and wakes
+        #: waiters, and set order follows object addresses — two epolls
+        #: ready at the same tick would wake their sleepers in a
+        #: heap-layout-dependent order, breaking run-to-run determinism.
+        self.watchers: Dict = {}
         self.read_waiters = WaitQueue(sim)
         self.write_waiters = WaitQueue(sim)
 

@@ -94,6 +94,16 @@ class LockstepSession:
         self.stats_syscalls = 0
         self.divergence: Optional[str] = None
         self.ready = False
+        #: NVX conformance oracle: every barrier rendezvous is reported
+        #: so mixed-syscall rounds are caught even when the monitor's own
+        #: divergence handling would tolerate them.
+        self.invariants = None
+        if cfg.invariants is not False:
+            if cfg.invariants is None:
+                from repro.faults.invariants import InvariantChecker
+                self.invariants = InvariantChecker()
+            else:
+                self.invariants = cfg.invariants
         # Per-stop hot path: the ptrace mechanics and the profile's
         # bookkeeping are constants — price them once.
         self._stop_overhead = (self.costs.ptrace.stop_cost()
@@ -178,6 +188,10 @@ class LockstepSession:
                 self.divergence = (
                     f"{self.profile.name}: versions diverged: "
                     f"{sorted(names)}")
+            if self.invariants is not None:
+                self.invariants.on_lockstep_round(
+                    self.profile.name, round_id, names,
+                    caught=self.divergence is not None)
         if self.divergence is not None:
             raise DivergenceError(self.divergence)
 
@@ -205,11 +219,26 @@ class LockstepSession:
 
     # -- observability ------------------------------------------------------
 
+    def final_check(self) -> None:
+        """Post-run conformance: every intercepted syscall must have cost
+        exactly two ptrace stops (entry + exit) — a mismatch means a
+        version skipped a stop, i.e. escaped the monitor."""
+        if self.invariants is None:
+            return
+        if self.stats_stops != 2 * self.stats_syscalls:
+            self.invariants.violation(
+                f"lockstep[{self.profile.name}]: {self.stats_stops} stops "
+                f"for {self.stats_syscalls} syscalls (expected "
+                f"{2 * self.stats_syscalls})")
+
     def metrics_snapshot(self) -> Dict:
         reg = obs_metrics.MetricsRegistry()
         reg.inc("lockstep.stops", self.stats_stops)
         reg.inc("lockstep.syscalls", self.stats_syscalls)
         reg.inc("lockstep.divergences", 0 if self.divergence is None else 1)
+        if self.invariants is not None:
+            reg.inc("invariant.checks", self.invariants.lockstep_rounds)
+            reg.inc("invariant.violations", len(self.invariants.violations))
         return reg.snapshot()
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.coordinator import NvxSession
 from repro.costmodel import cycles
+from repro.errors import NvxError
 from repro.recordreplay.logfile import encode_event
 from repro.sim.core import Compute
 
@@ -28,6 +29,8 @@ class Recorder:
         self.inode = fs.lookup(path) or fs.create(path)
         self.events_recorded = 0
         self.bytes_written = 0
+        #: Diagnostic set when a drain hit ring damage and stopped.
+        self.corrupted = None
         session.tuple_hooks.append(self._on_tuple)
 
     def _on_tuple(self, tuple_) -> None:
@@ -39,23 +42,40 @@ class Recorder:
 
     def _drain(self, ring, vid: int):
         costs = self.session.costs
+
+        def has_event():
+            # Runs in the publisher's notify context: report ready on
+            # ring damage and let the drain loop fail diagnostically.
+            try:
+                return ring.peek(vid) is not None
+            except NvxError:
+                return True
+
         while True:
-            event = ring.peek(vid)
-            if event is None:
-                yield from ring.wait_published(
-                    True, lambda: ring.peek(vid) is not None)
-                continue
-            payload = b""
-            if event.payload is not None:
-                payload = yield from self.session.pool.consume(event.payload)
-            record = encode_event(event, payload)
-            yield Compute(cycles(
-                costs.record_log_per_event
-                + costs.record_log_per_byte * len(record)))
-            self.inode.write_at(self.inode.size(), record)
-            self.events_recorded += 1
-            self.bytes_written += len(record)
-            ring.advance(vid)
+            try:
+                event = ring.peek(vid)
+                if event is None:
+                    yield from ring.wait_published(True, has_event)
+                    continue
+                payload = b""
+                if event.payload is not None:
+                    payload = yield from self.session.pool.consume(
+                        event.payload)
+                record = encode_event(event, payload)
+                yield Compute(cycles(
+                    costs.record_log_per_event
+                    + costs.record_log_per_byte * len(record)))
+                self.inode.write_at(self.inode.size(), record)
+                self.events_recorded += 1
+                self.bytes_written += len(record)
+                ring.advance(vid)
+            except NvxError as exc:
+                # Injected slot damage: the log is no longer trustworthy
+                # past this point.  Stop recording and unsubscribe so the
+                # dead cursor cannot backpressure the leader forever.
+                self.corrupted = str(exc)
+                ring.remove_consumer(vid)
+                return
 
     @property
     def log_bytes(self) -> bytes:

@@ -104,6 +104,14 @@ class ReplaySession:
         monitor.variant.alive = False
         self.root_tuple.ring.remove_consumer(monitor.vid)
 
+    def report_ring_fault(self, monitor, exc) -> None:
+        """Ring damage observed mid-replay: drop the replayed variant so
+        the artificial leader is not backpressured by its dead cursor."""
+        self.stats.ring_faults.append(
+            (monitor.variant.name, str(exc), self.world.sim.now))
+        monitor.variant.alive = False
+        self.root_tuple.ring.remove_consumer(monitor.vid)
+
     def await_promotion_complete(self, task):
         raise RecordReplayError("replayed versions cannot become leader")
         yield  # pragma: no cover

@@ -23,6 +23,10 @@ class Network:
         self._busy_until: Dict[Tuple[str, str], int] = {}
         self.bytes_sent = 0
         self.messages_sent = 0
+        #: Optional fault hook (``repro.faults.NetworkFaults``): may
+        #: delay a delivery (partition hold, loss retransmission) but
+        #: never drop it, so injected network faults preserve liveness.
+        self.faults = None
 
     def transit_ps(self, nbytes: int) -> int:
         """Latency + transmission time for a message of ``nbytes``."""
@@ -58,6 +62,9 @@ class Network:
             arrival = start + tx + self.spec.latency_ps
         else:
             arrival = self.sim.now + tx + self.spec.latency_ps
+        if self.faults is not None:
+            arrival = self.faults.adjust(src.name, dst.name, self.sim.now,
+                                         arrival)
         arrival = max(arrival, floor_ps)
         self.bytes_sent += nbytes
         self.messages_sent += 1

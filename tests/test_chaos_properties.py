@@ -1,0 +1,49 @@
+"""Property-based chaos testing (Hypothesis).
+
+The chaos harness (``repro.faults.chaos``) already pairs each randomly
+drawn fault plan with a fault-free baseline of the same workload and
+checks (a) every surviving variant's output digest equals the baseline's
+and (b) the invariant checker stays silent.  Here Hypothesis drives the
+seed space so the property is exercised across arbitrary (workload,
+fault-plan) combinations rather than a fixed seed list.
+
+These are slow (each example is two full NVX sessions), so the whole
+module is ``slow``-marked and runs in the nightly suite.
+"""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.chaos import run_plan
+
+pytestmark = pytest.mark.slow
+
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,  # a single example is a pair of full DES sessions
+    derandomize=True,  # deterministic example selection for CI stability
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestChaosProperties:
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           index=st.integers(min_value=0, max_value=7))
+    def test_survivors_match_fault_free_baseline(self, seed, index):
+        """Any seeded fault plan leaves survivors output-identical to the
+        fault-free run, with zero invariant violations."""
+        lines, mismatches, violations = run_plan(seed, index)
+        assert mismatches == 0, "\n".join(lines)
+        assert violations == 0, "\n".join(lines)
+
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           index=st.integers(min_value=0, max_value=7))
+    def test_plan_runs_are_reproducible(self, seed, index):
+        """The same (seed, index) yields a byte-identical journal."""
+        first = run_plan(seed, index)
+        second = run_plan(seed, index)
+        assert first == second

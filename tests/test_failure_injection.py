@@ -3,6 +3,8 @@
 import pytest
 
 from repro.core import NvxSession, VersionSpec
+from repro.core.config import SessionConfig
+from repro.faults import CRASH, Fault, FaultPlan
 from repro.kernel.uapi import Segfault
 from repro.world import World
 
@@ -159,3 +161,104 @@ class TestFollowerLag:
         assert session.variants[0].root_task.threads[0].result == \
             "finished"
         assert session.stats.fatal_divergences
+
+
+def run_planned(specs, plan, ring_capacity=16):
+    """Run ``specs`` under a seeded :class:`FaultPlan`."""
+    world = World()
+    world.kernel.fs(world.server).create("/tmp/data", b"still-here")
+    config = SessionConfig(fault_plan=plan, ring_capacity=ring_capacity)
+    session = NvxSession(world, specs, config=config).start()
+    world.run()
+    return session, world
+
+
+class TestPromotionEdgeCases:
+    """Crashes landing inside the failover machinery itself."""
+
+    @staticmethod
+    def _laggard_specs():
+        def fast(ctx):
+            for _ in range(30):
+                yield from ctx.time()
+            return "done"
+
+        def slow(ctx):
+            for _ in range(30):
+                yield from ctx.time()
+                yield from ctx.compute(200_000)  # deep consumer lag
+            return "done"
+
+        return [VersionSpec("lead", fast), VersionSpec("heir", slow),
+                VersionSpec("spare", slow)]
+
+    def test_follower_crash_during_in_flight_promotion(self):
+        # Phase 1: crash only the leader; the slow heir is promoted with
+        # a deep backlog to drain, so the window between "is_leader set"
+        # and "await_promotion_complete ran" is wide.  Record when the
+        # leader died.
+        probe_plan = FaultPlan((Fault(CRASH, variant=0, at_syscall=20),))
+        probe, _ = run_planned(self._laggard_specs(), probe_plan)
+        assert probe.stats.promotions == 1
+        leader_death_ps = probe.stats.crashes[0][2]
+
+        # Phase 2: same workload, second crash shortly after the first —
+        # the heir dies mid-drain, still holding its consumer cursor.
+        # Before the stale-cursor fix this deadlocked: the spare's
+        # publishes blocked forever behind the dead heir's cursor.
+        plan = FaultPlan((Fault(CRASH, variant=0, at_syscall=20),
+                          Fault(CRASH, variant=1,
+                                at_ps=leader_death_ps + 2_000_000)))
+        session, _ = run_planned(self._laggard_specs(), plan)
+        assert session.stats.promotions == 2
+        assert len(session.stats.crashes) == 2
+        assert session.variants[2].is_leader
+        assert session.variants[2].root_task.threads[0].result == "done"
+        assert 1 not in session.root_tuple.ring.cursors
+
+    def test_leader_crash_while_parked_in_producer_stall(self):
+        # A capacity-2 ring and a slow follower park the leader in the
+        # publish backpressure wait for most of the run.  Killing it
+        # there must still promote cleanly: the follower drains what was
+        # published, restarts through the leader path and finishes.
+        def fast(ctx):
+            for _ in range(30):
+                yield from ctx.time()
+            return "done"
+
+        def slow(ctx):
+            for _ in range(30):
+                yield from ctx.time()
+                yield from ctx.compute(200_000)
+            return "done"
+
+        specs = [VersionSpec("lead", fast), VersionSpec("heir", slow)]
+
+        # Probe fault-free for the activity window: session setup eats
+        # the early sim time, so time the crash at the window midpoint,
+        # when the ring is full and the leader is parked.
+        marks = []
+
+        def probed(build):
+            def main(ctx):
+                marks.append(ctx.task.kernel.sim.now)
+                return (yield from build(ctx))
+            return main
+
+        world = World()
+        world.kernel.fs(world.server).create("/tmp/data", b"still-here")
+        probe_specs = [VersionSpec(s.name, probed(s.main)) for s in specs]
+        NvxSession(world, probe_specs,
+                   config=SessionConfig(ring_capacity=2)).start()
+        world.run()
+        start, horizon = min(marks), world.sim.now
+
+        plan = FaultPlan((Fault(CRASH, variant=0,
+                                at_ps=(start + horizon) // 2),))
+        session, _ = run_planned(specs, plan, ring_capacity=2)
+        fired = [line for line in session.injector.log if "fired" in line]
+        assert fired
+        assert session.stats.promotions == 1
+        assert session.variants[1].is_leader
+        assert session.variants[1].root_task.threads[0].result == "done"
+        assert 0 not in session.root_tuple.ring.cursors

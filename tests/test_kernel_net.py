@@ -235,6 +235,30 @@ class TestEpoll:
         assert events and events[0][1] & EPOLLIN
 
 
+    def test_watcher_registry_is_insertion_ordered(self):
+        # Pollable.poke iterates the watcher registry and wakes each
+        # epoll's sleepers in turn, so the iteration order is part of
+        # the deterministic schedule.  A set would order watchers by
+        # object address (heap-layout-dependent — it once flipped a
+        # reference-sweep cell depending on PYTHONHASHSEED); the
+        # registry must preserve registration order exactly, including
+        # across unregister/re-register cycles.
+        from repro.kernel.epoll import Epoll
+        from repro.kernel.net import Pollable
+        from repro.sim.core import Simulator
+
+        sim = Simulator()
+        pollable = Pollable(sim)
+        epolls = [Epoll(sim) for _ in range(5)]
+        for index, ep in enumerate(epolls):
+            pollable.watchers[ep] = None
+        assert list(pollable.watchers) == epolls
+        pollable.watchers.pop(epolls[1], None)
+        pollable.watchers[epolls[1]] = None  # re-register: moves to back
+        assert list(pollable.watchers) == \
+            [epolls[0]] + epolls[2:] + [epolls[1]]
+
+
 class TestProcessesAndThreads:
     def test_fork_runs_child_and_wait4_reaps(self):
         w = World()
