@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Byte-identity checks for the packed event encoders.
+
+The hot-path encoders pack a whole record with one pre-compiled
+``struct.Struct`` call instead of field-at-a-time packs.  That is a
+pure speed change: the byte streams must not move.  Three exact
+comparisons enforce it:
+
+1. ``recordreplay.logfile.encode_event`` against a per-field reference
+   encoder that emits the documented wire format one ``struct.pack``
+   at a time, across a corpus of event shapes (args, payload, flat
+   aux, aux pairs, descriptors, control events, negative values).
+2. ``core.events.pack_event`` (the 64-byte ring-slot line) against a
+   per-field slot reference, plus an ``unpack_event`` roundtrip.
+3. A deterministic recorded session's log bytes against the committed
+   golden ``benchmarks/reference_log.bin`` — proof that packed
+   encoding leaves recorded logs unchanged.
+
+Run with ``--write-golden`` only after a *deliberate* format change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import struct
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.core import NvxSession, VersionSpec  # noqa: E402
+from repro.core.events import (  # noqa: E402
+    EV_EXIT,
+    EV_FORK,
+    EVENT_SIZE,
+    ETYPE_CODES,
+    Event,
+    pack_event,
+    syscall_event,
+    unpack_event,
+)
+from repro.kernel.uapi import O_RDWR  # noqa: E402
+from repro.recordreplay import (  # noqa: E402
+    Recorder,
+    decode_records,
+    encode_event,
+)
+from repro.recordreplay.logfile import MAGIC  # noqa: E402
+from repro.world import World  # noqa: E402
+
+GOLDEN = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "reference_log.bin")
+
+_MASK64 = (1 << 64) - 1
+
+
+def encode_event_reference(event: Event, payload: bytes = b"") -> bytes:
+    """The original field-at-a-time log encoder, kept as the oracle."""
+    int_args = [a for a in event.args if isinstance(a, int)]
+    if event.aux and all(isinstance(a, tuple) and len(a) == 2
+                         for a in event.aux):
+        aux_kind = 1
+        naux = len(event.aux)
+        aux_values = [value for pair in event.aux for value in pair]
+    else:
+        aux_kind = 0
+        aux_values = [a for a in event.aux if isinstance(a, int)]
+        naux = len(aux_values)
+    fds = event.fd_numbers
+    body = struct.pack("<Biq", ETYPE_CODES[event.etype], event.nr,
+                       event.clock)
+    body += struct.pack("<Hq", event.tindex, event.retval)
+    body += struct.pack("<B", len(int_args))
+    for arg in int_args:
+        body += struct.pack("<q", arg)
+    body += struct.pack("<BB", aux_kind, naux)
+    for value in aux_values:
+        body += struct.pack("<q", value)
+    body += struct.pack("<B", len(fds))
+    for fd in fds:
+        body += struct.pack("<i", fd)
+    body += struct.pack("<I", len(payload))
+    return struct.pack("<II", MAGIC, len(body) + len(payload)) \
+        + body + payload
+
+
+def pack_event_reference(event: Event) -> bytes:
+    """Field-at-a-time rendering of the 64-byte ring-slot line."""
+    args = [a & _MASK64 for a in event.args]
+    line = struct.pack("<B", ETYPE_CODES[event.etype] | len(args) << 4)
+    line += struct.pack("<B", event.tindex & 0xFF)
+    line += struct.pack("<H", event.nr & 0xFFFF)
+    line += struct.pack("<I", event.clock & 0xFFFF_FFFF)
+    line += struct.pack("<Q", event.retval & _MASK64)
+    for arg in args:
+        line += struct.pack("<Q", arg)
+    line += b"\x00" * (8 * (6 - len(args)))
+    return line
+
+
+def event_corpus():
+    read = syscall_event("read", 1, 7, 512, args=(3, 512), aux=(9,))
+    read.fd_numbers = (4, 5)
+    read.fd_count = 2
+    epoll = syscall_event("epoll_wait", 0, 11, 2,
+                          args=(5, 0, 8, -1), aux=((6, 1), (7, 4)))
+    neg = syscall_event("open", 2, 19, -2, args=(0, O_RDWR))
+    fork = Event(EV_FORK, -1, "fork", 0, 23, retval=41)
+    fork.fd_numbers = (3,)
+    fork.fd_count = 1
+    exit_ev = Event(EV_EXIT, -1, "exit", 3, 29, retval=-7)
+    return [
+        (read, b"the-payload"),
+        (epoll, b""),
+        (neg, b""),
+        (fork, b""),
+        (exit_ev, b""),
+    ]
+
+
+def check_log_encoder() -> int:
+    checked = 0
+    for event, payload in event_corpus():
+        fast = encode_event(event, payload)
+        slow = encode_event_reference(event, payload)
+        assert fast == slow, f"encode_event drift for {event!r}"
+        [(decoded, back)] = list(decode_records(fast))
+        assert back == payload
+        assert decoded.retval == event.retval
+        checked += 1
+    return checked
+
+
+def check_slot_packer() -> int:
+    checked = 0
+    for event, _ in event_corpus():
+        if not all(isinstance(a, int) for a in event.args):
+            continue
+        fast = pack_event(event)
+        assert len(fast) == EVENT_SIZE
+        assert fast == pack_event_reference(event), \
+            f"pack_event drift for {event!r}"
+        back = unpack_event(fast)
+        assert back.etype == event.etype
+        assert back.retval == event.retval
+        checked += 1
+    return checked
+
+
+def record_session() -> bytes:
+    """Deterministic recorded run (mirrors tests/test_recordreplay.py)."""
+
+    def app(ctx):
+        fd = yield from ctx.open("/tmp/input")
+        data = yield from ctx.read(fd, 32)
+        t = yield from ctx.time()
+        out = yield from ctx.open("/dev/null", O_RDWR)
+        yield from ctx.write(out, data)
+        yield from ctx.close(out)
+        yield from ctx.close(fd)
+        return (data, t)
+
+    world = World()
+    world.kernel.fs(world.server).create("/tmp/input", b"the-input")
+    session = NvxSession(world, [VersionSpec("prod", app)])
+    recorder = Recorder(session, "/var/log.bin")
+    session.start()
+    world.run()
+    return recorder.log_bytes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write-golden", action="store_true",
+                        help="regenerate benchmarks/reference_log.bin")
+    options = parser.parse_args()
+
+    shapes = check_log_encoder()
+    slots = check_slot_packer()
+    print(f"encode_event == per-field reference over {shapes} shapes")
+    print(f"pack_event == per-field slot reference over {slots} events")
+
+    log = record_session()
+    records = list(decode_records(log))
+    assert records, "recorded session produced no events"
+    assert any(b"the-input" in payload for _, payload in records)
+    if options.write_golden:
+        with open(GOLDEN, "wb") as fh:
+            fh.write(log)
+        print(f"wrote {len(log)} golden bytes ({len(records)} records)")
+        return 0
+    with open(GOLDEN, "rb") as fh:
+        golden = fh.read()
+    assert log == golden, (
+        f"recorded log drifted from golden: {len(log)} bytes vs "
+        f"{len(golden)} committed — the encoder changed the byte stream")
+    print(f"recorded log matches golden byte-for-byte "
+          f"({len(log)} bytes, {len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,17 @@ SWEEP_JSON = os.path.join(_REPO_ROOT, "benchmarks", "BENCH_sweep.json")
 #: of the gate travels.
 CPU_SPEEDUP_FLOOR = 3.0
 
+#: Superblock+chaining+fusion over the plain basic-block cache
+#: (``translate="blocks"``) — the machine-independent floor for the
+#: direct-threaded hot path itself.
+SUPERBLOCK_VS_BLOCK_FLOOR = 2.0
+
+#: The last committed ``cached_mips`` before superblock translation
+#: (PR 3's basic-block cache as measured by the CI runner).  The cpu
+#: gate requires the current cached rate to clear 3x this figure.
+PR3_CACHED_BASELINE = 0.65
+PR3_RATIO_FLOOR = 3.0
+
 #: Sweep slice used for the wall-clock benchmark: small enough for CI,
 #: broad enough to exercise servers, failover and the ring ablations.
 SWEEP_SLICE = ("ablations", "failover-5.1", "figure6", "sanitization-5.3")
@@ -204,10 +215,12 @@ def cpu_loop(iterations: int = 60_000, translate: bool = True):
 
 
 def measure_cpu(repeats: int = 3, iterations: int = 60_000) -> dict:
-    """Best-of-``repeats`` guest MIPS, cached and per-step decode."""
+    """Best-of-``repeats`` guest MIPS: superblock cache, plain
+    basic-block cache, and per-step decode."""
     rates = {}
     insns = 0
-    for label, translate in (("cached", True), ("interp", False)):
+    for label, translate in (("cached", True), ("block", "blocks"),
+                             ("interp", False)):
         best = 0.0
         for _ in range(repeats):
             insns, elapsed = cpu_loop(iterations, translate=translate)
@@ -217,14 +230,68 @@ def measure_cpu(repeats: int = 3, iterations: int = 60_000) -> dict:
         "cpu_loop": {
             "instructions": insns,
             "cached_mips": round(rates["cached"], 3),
+            "block_mips": round(rates["block"], 3),
             "interp_mips": round(rates["interp"], 3),
             "speedup_x": round(rates["cached"] / rates["interp"], 2),
+            "superblock_vs_block_x": round(
+                rates["cached"] / rates["block"], 2),
         }
     }
 
 
+def measure_event_codec(repeats: int = 3, count: int = 200_000) -> dict:
+    """Packed 64-byte event line vs the per-field encoder it replaced.
+
+    Measures million-packs/sec for :func:`repro.core.events.pack_event`
+    (one pre-compiled Struct for the whole line), for a field-at-a-time
+    reference doing one ``struct.pack`` per field (the old shape of the
+    seal/encode paths), and for the unpack side.
+    """
+    import struct
+
+    from repro.core.events import (ETYPE_CODES, pack_event, syscall_event,
+                                   unpack_event)
+
+    mask = 2 ** 64 - 1
+    event = syscall_event("read", 0, 5, 512, args=(3, 512, 4096))
+
+    def per_field_pack(ev):
+        out = struct.pack("<B", ETYPE_CODES[ev.etype] | len(ev.args) << 4)
+        out += struct.pack("<B", ev.tindex & 0xFF)
+        out += struct.pack("<H", ev.nr & 0xFFFF)
+        out += struct.pack("<I", ev.clock & 0xFFFF_FFFF)
+        out += struct.pack("<Q", ev.retval & mask)
+        for arg in ev.args:
+            out += struct.pack("<Q", arg & mask)
+        return out + b"\x00" * (8 * (6 - len(ev.args)))
+
+    line = pack_event(event)
+    assert per_field_pack(event) == line  # same 64 bytes, same layout
+
+    def rate(fn, arg):
+        best = 0.0
+        loop = range(count)
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for _ in loop:
+                fn(arg)
+            elapsed = time.perf_counter() - started
+            best = max(best, count / elapsed / 1e6)
+        return best
+
+    packed = rate(pack_event, event)
+    per_field = rate(per_field_pack, event)
+    unpack = rate(unpack_event, line)
+    return {
+        "packed_mops": round(packed, 3),
+        "per_field_mops": round(per_field, 3),
+        "unpack_mops": round(unpack, 3),
+        "packed_vs_per_field_x": round(packed / per_field, 2),
+    }
+
+
 def check_cpu(measured: dict, tolerance: float) -> int:
-    """Exit status 1 on MIPS regression or a speedup below the floor."""
+    """Exit status 1 on MIPS regression or any ratio below its floor."""
     try:
         with open(CPU_JSON) as fh:
             committed = json.load(fh)
@@ -242,11 +309,22 @@ def check_cpu(measured: dict, tolerance: float) -> int:
               f"{baseline:.2f} (floor {floor:.2f}) {verdict}")
         if current < floor:
             status = 1
-        speedup = measured[name]["speedup_x"]
-        verdict = "ok" if speedup >= CPU_SPEEDUP_FLOOR else "REGRESSED"
-        print(f"{name}: translation-cache speedup {speedup:.2f}x "
-              f"(floor {CPU_SPEEDUP_FLOOR:.1f}x) {verdict}")
-        if speedup < CPU_SPEEDUP_FLOOR:
+        for ratio_key, ratio_floor, label in (
+                ("speedup_x", CPU_SPEEDUP_FLOOR, "cached/per-step"),
+                ("superblock_vs_block_x", SUPERBLOCK_VS_BLOCK_FLOOR,
+                 "superblock/basic-block")):
+            ratio = measured[name][ratio_key]
+            verdict = "ok" if ratio >= ratio_floor else "REGRESSED"
+            print(f"{name}: {label} ratio {ratio:.2f}x "
+                  f"(floor {ratio_floor:.1f}x) {verdict}")
+            if ratio < ratio_floor:
+                status = 1
+        pr3_ratio = current / PR3_CACHED_BASELINE
+        verdict = "ok" if pr3_ratio >= PR3_RATIO_FLOOR else "REGRESSED"
+        print(f"{name}: {pr3_ratio:.2f}x over the PR 3 committed "
+              f"baseline ({PR3_CACHED_BASELINE} MIPS, floor "
+              f"{PR3_RATIO_FLOOR:.1f}x) {verdict}")
+        if pr3_ratio < PR3_RATIO_FLOOR:
             status = 1
     return status
 
@@ -364,14 +442,22 @@ def main(argv=None) -> int:
     if status == 0 and args.suite in ("cpu", "all"):
         measured = measure(measure_cpu, repeats=args.repeats)
         for name, entry in measured.items():
-            print(f"{name}: {entry['cached_mips']:.2f} guest MIPS cached, "
+            print(f"{name}: {entry['cached_mips']:.2f} guest MIPS cached "
+                  f"(superblocks), {entry['block_mips']:.2f} basic-block, "
                   f"{entry['interp_mips']:.2f} per-step "
-                  f"({entry['speedup_x']:.2f}x, "
+                  f"({entry['speedup_x']:.2f}x over per-step, "
+                  f"{entry['superblock_vs_block_x']:.2f}x over blocks, "
                   f"{entry['instructions']} insns)")
+        codec = measure_event_codec(repeats=args.repeats)
+        print(f"event_codec: {codec['packed_mops']:.2f} M packs/s packed "
+              f"vs {codec['per_field_mops']:.2f} per-field "
+              f"({codec['packed_vs_per_field_x']:.2f}x), "
+              f"{codec['unpack_mops']:.2f} M unpacks/s")
         if args.check:
             status = check_cpu(measured, args.tolerance)
         elif not args.profile:
-            write_json(CPU_JSON, {"meta": _meta(), "workloads": measured})
+            write_json(CPU_JSON, {"meta": _meta(), "workloads": measured,
+                                  "event_codec": codec})
     if status == 0 and args.suite in ("sweep", "all"):
         timed = measure_sweep(jobs=args.jobs)
         for label, entry in timed.items():

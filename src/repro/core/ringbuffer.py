@@ -15,6 +15,7 @@ queue on every event.
 from __future__ import annotations
 
 import random
+import struct
 from typing import Dict, List, Optional
 
 from repro.costmodel import CostModel, US_PS, cycles
@@ -22,7 +23,7 @@ from repro.errors import NvxError
 from repro.sim.core import TIMEOUT, Compute, Simulator
 from repro.sim.sync import WaitQueue
 
-from repro.core.events import Event
+from repro.core.events import Event, pack_event
 
 #: Paper default: 256 events of 64 bytes.
 DEFAULT_CAPACITY = 256
@@ -46,10 +47,20 @@ def event_seal(event: Event) -> tuple:
     re-derived at consume time; a mismatch means a consumer observed a
     half-written slot.  The payload is sealed by *pointer* identity only
     — its bytes live in the shared-memory pool, whose chunks are
-    legitimately recycled once the last reader consumes them."""
-    return (event.etype, event.nr, event.name, event.tindex, event.clock,
-            event.retval, event.args, event.aux, event.fd_numbers,
-            event.fd_count, id(event.payload))
+    legitimately recycled once the last reader consumes them.
+
+    The by-value fields seal as one :func:`~repro.core.events.pack_event`
+    line (a single pre-compiled struct pack instead of an 11-field
+    tuple build); events that do not fit the fixed slot layout — e.g.
+    simulation-level string arguments — fall back to the field tuple.
+    """
+    try:
+        line = pack_event(event)
+    except (KeyError, TypeError, struct.error):
+        line = (event.etype, event.nr, event.name, event.tindex,
+                event.clock, event.retval, event.args)
+    return (line, event.aux, event.fd_numbers, event.fd_count,
+            id(event.payload))
 
 
 class RingStats:

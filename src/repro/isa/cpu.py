@@ -26,10 +26,41 @@ from typing import Callable, Generator, Optional
 from repro.costmodel import CYCLE_PS
 from repro.errors import ExecutionFault
 from repro.isa.disassembler import decode_one
+from repro.isa.fuser import fuse_block
 from repro.isa.memory import AddressSpace
-from repro.isa.opcodes import REG_INDEX, REGISTERS
+from repro.isa.opcodes import (
+    HANDLER_OP_IDS,
+    OP_ADD,
+    OP_ADDI,
+    OP_CALL,
+    OP_CALLR,
+    OP_CMP,
+    OP_CMPI,
+    OP_HLT,
+    OP_INT0,
+    OP_JMP,
+    OP_JNZ,
+    OP_JZ,
+    OP_LOAD,
+    OP_MOV,
+    OP_MOVI,
+    OP_NOP,
+    OP_POP,
+    OP_POPA,
+    OP_PUSH,
+    OP_PUSHA,
+    OP_RET,
+    OP_STORE,
+    OP_SUB,
+    OP_SUBI,
+    OP_SYSCALL,
+    OP_VSYS,
+    REG_INDEX,
+    REGISTERS,
+)
 from repro.isa.translator import (
     BlockExit,
+    GLOBAL_STATS,
     T_BRANCH,
     T_FALL,
     T_HLT,
@@ -42,6 +73,7 @@ from repro.isa.translator import (
 from repro.sim.core import Block, Compute
 
 _U64 = 2 ** 64
+_MASK = _U64 - 1
 _RAX = REG_INDEX["rax"]
 _RSP = REG_INDEX["rsp"]
 
@@ -54,7 +86,7 @@ class Cpu:
     """One hardware thread executing VX86 code."""
 
     def __init__(self, space: AddressSpace, entry: int, stack_top: int,
-                 name: str = "cpu", translate: bool = True) -> None:
+                 name: str = "cpu", translate=True) -> None:
         self.space = space
         self.regs = [0] * len(REGISTERS)
         self.rip = entry
@@ -64,8 +96,13 @@ class Cpu:
         self.halted = False
         self.insns_retired = 0
         self.regs[_RSP] = stack_top
+        # translate=True: superblocks + chaining + fused hot blocks.
+        # translate="blocks": PR 3 basic-block cache (the benchmark
+        # baseline the CI speedup ratio is measured against).
+        # translate=False: per-step decode (the differential oracle).
         self.tcache: Optional[TranslationCache] = (
-            TranslationCache(space) if translate else None)
+            TranslationCache(space, superblocks=translate != "blocks")
+            if translate else None)
         self._fault_cycles = 0
         # Handler hooks — generator functions taking (cpu,) or (cpu, idx).
         self.syscall_handler: Optional[Callable] = None
@@ -109,7 +146,7 @@ class Cpu:
 
     def step_decode(self):
         segment = self.space.find(self.rip)
-        if "x" not in segment.perms:
+        if not segment.x_ok:
             raise ExecutionFault(
                 f"{self.name}: rip {self.rip:#x} not executable")
         return decode_one(bytes(segment.data), self.rip - segment.start,
@@ -141,117 +178,186 @@ class Cpu:
     # -- the translated hot loop -------------------------------------------
 
     def _run_cached(self, max_insns: int, batch_cycles: int) -> Generator:
-        """Block-at-a-time execution through the translation cache.
+        """Chained block-at-a-time execution through the translation
+        cache.
 
         Retired-instruction and cycle accounting are per-instruction
         exact (see translator docstring); only the Compute chunking is
         coarser — one batch per block run instead of per instruction.
+        The inner loop follows direct-threaded chain links (validated
+        against segment version and mapping generation at every follow,
+        because a Compute yield can hand the sim to code that remaps or
+        rewrites memory), so hot loops never return to the dispatch
+        lookup; each exit taken through the dispatch loop patches a new
+        chain link into its predecessor.  Blocks that stay hot are
+        promoted to fused compiled bodies (repro.isa.fuser).
         """
         pending = 0
         executed = 0
-        lookup = self.tcache.lookup
-        while not self.halted:
-            if executed >= max_insns:
-                self.insns_retired = executed
-                raise ExecutionFault(
-                    f"{self.name}: exceeded {max_insns} insns")
-            block = lookup(self)
-            n = block.n_ops
-            remaining = max_insns - executed
-            if remaining > n:
-                try:
-                    for op in block.ops:
-                        op()
-                except BlockExit as bx:
-                    # A store rewrote this block's own code: retire what
-                    # ran and resume at the next instruction, which will
-                    # re-translate against the new bytes.
-                    executed += bx.n_done
-                    self.cycles += bx.cycles_done
-                    pending += bx.cycles_done
-                    self.rip = bx.next_rip
-                    if pending >= batch_cycles:
-                        yield Compute(pending * CYCLE_PS)
-                        pending = 0
-                    continue
-                except BaseException:
-                    self.cycles += self._fault_cycles
+        tcache = self.tcache
+        lookup = tcache.lookup
+        stats = tcache.stats
+        space = self.space
+        superblocks = tcache.superblocks
+        fuse_threshold = tcache.fuse_threshold
+        # Chain/dispatch tallies accumulate in locals and flush in the
+        # finally, keeping the per-block path free of attribute stores.
+        follows = 0
+        dispatches = 0
+        chain_src = None
+        try:
+            while not self.halted:
+                if executed >= max_insns:
                     self.insns_retired = executed
-                    raise
-                executed += n
-                self.cycles += block.cycles
-                pending += block.cycles
-                term = block.terminator
-                if term == T_BRANCH:
-                    pass  # the last micro-op set rip
-                elif term == T_FALL:
-                    self.rip = block.end_rip
-                elif term == T_HLT:
-                    self.halted = True
-                    self.rip = block.term_addr
-                    executed += 1
-                    self.cycles += block.term_cycles
-                    pending += block.term_cycles
-                    break
-                else:
-                    # Like hardware: rip points past the instruction
-                    # while the handler runs (and is where sigreturn
-                    # resumes for int0).
-                    self.rip = block.term_end
-                    executed += 1
-                    if pending:
-                        yield Compute(pending * CYCLE_PS)
-                        pending = 0
-                    if term == T_SYSCALL:
-                        yield from self._invoke(self.syscall_handler,
-                                                "syscall")
-                    elif term == T_INT0:
-                        yield from self._invoke(self.int0_handler, "int0")
-                    elif term == T_VSYS:
-                        yield from self._invoke(self.vsys_handler, "vsys",
-                                                block.term_arg)
+                    raise ExecutionFault(
+                        f"{self.name}: exceeded {max_insns} insns")
+                block = lookup(self)
+                dispatches += 1
+                if chain_src is not None:
+                    # Patch the predecessor's exit straight to this
+                    # block; nothing can have invalidated either since
+                    # the exit (no yields in between).
+                    chain_src.chain[self.rip] = block
+                    stats.chains_linked += 1
+                    GLOBAL_STATS.chains_linked += 1
+                    chain_src = None
+                while True:
+                    n = block.n_ops
+                    remaining = max_insns - executed
+                    if remaining <= n:
+                        # The max_insns budget expires inside this
+                        # block: run micro-ops one by one so the fault
+                        # carries the exact rip/cycles the per-step
+                        # interpreter would report.
+                        ops = block.ops
+                        i = 0
+                        try:
+                            while i < remaining:
+                                ops[i]()
+                                i += 1
+                        except BlockExit as bx:
+                            executed += bx.n_done
+                            self.cycles += bx.cycles_done
+                            pending += bx.cycles_done
+                            self.rip = bx.next_rip
+                            if pending >= batch_cycles:
+                                yield Compute(pending * CYCLE_PS)
+                                pending = 0
+                            break
+                        except BaseException:
+                            self.cycles += self._fault_cycles
+                            self.insns_retired = executed + i
+                            raise
+                        executed += remaining
+                        if remaining:
+                            self.cycles += block.cum[remaining - 1]
+                        if not (block.terminator == T_BRANCH
+                                and remaining == n):
+                            self.rip = block.bounds[remaining]
+                        self.insns_retired = executed
+                        raise ExecutionFault(
+                            f"{self.name}: exceeded {max_insns} insns")
+                    fn = block.fn
+                    if fn is None and superblocks and n:
+                        hot = block.hot = block.hot + 1
+                        if hot >= fuse_threshold:
+                            fn = block.fn = fuse_block(self, block)
+                            stats.fused_blocks += 1
+                            GLOBAL_STATS.fused_blocks += 1
+                    try:
+                        if fn is not None:
+                            # Fused bodies return how many times they ran
+                            # the block: a self-loop block iterates in
+                            # place until its branch leaves the entry,
+                            # the insn budget nears expiry, or the cycle
+                            # batch fills (see repro.isa.fuser).
+                            it = fn(remaining, batch_cycles - pending)
+                        else:
+                            it = 1
+                            for op in block.ops:
+                                op()
+                    except BlockExit as bx:
+                        # A store rewrote this block's own code: retire
+                        # what ran and resume at the next instruction,
+                        # which will re-translate against the new bytes.
+                        executed += bx.n_done
+                        self.cycles += bx.cycles_done
+                        pending += bx.cycles_done
+                        self.rip = bx.next_rip
+                        if pending >= batch_cycles:
+                            yield Compute(pending * CYCLE_PS)
+                            pending = 0
+                        break
+                    except BaseException:
+                        self.cycles += self._fault_cycles
+                        self.insns_retired = executed
+                        raise
+                    executed += n * it
+                    self.cycles += block.cycles * it
+                    pending += block.cycles * it
+                    # In-place iterations are self-chain-follows: count
+                    # them so dispatches + follows still equals block
+                    # entries.
+                    follows += it - 1
+                    term = block.terminator
+                    if term == T_BRANCH:
+                        pass  # the last micro-op set rip
+                    elif term == T_FALL:
+                        self.rip = block.end_rip
+                    elif term == T_HLT:
+                        self.halted = True
+                        self.rip = block.term_addr
+                        executed += 1
+                        self.cycles += block.term_cycles
+                        pending += block.term_cycles
+                        break
                     else:
-                        yield from self._invoke(self.vmcall_handler,
-                                                "vmcall")
-                    continue
-                if pending >= batch_cycles:
-                    yield Compute(pending * CYCLE_PS)
-                    pending = 0
-            else:
-                # The max_insns budget expires inside this block: run
-                # micro-ops one by one so the fault carries the exact
-                # rip/cycles the per-step interpreter would report.
-                ops = block.ops
-                i = 0
-                try:
-                    while i < remaining:
-                        ops[i]()
-                        i += 1
-                except BlockExit as bx:
-                    executed += bx.n_done
-                    self.cycles += bx.cycles_done
-                    pending += bx.cycles_done
-                    self.rip = bx.next_rip
+                        # Like hardware: rip points past the instruction
+                        # while the handler runs (and is where sigreturn
+                        # resumes for int0).
+                        self.rip = block.term_end
+                        executed += 1
+                        if pending:
+                            yield Compute(pending * CYCLE_PS)
+                            pending = 0
+                        if term == T_SYSCALL:
+                            yield from self._invoke(self.syscall_handler,
+                                                    "syscall")
+                        elif term == T_INT0:
+                            yield from self._invoke(self.int0_handler,
+                                                    "int0")
+                        elif term == T_VSYS:
+                            yield from self._invoke(self.vsys_handler,
+                                                    "vsys",
+                                                    block.term_arg)
+                        else:
+                            yield from self._invoke(self.vmcall_handler,
+                                                    "vmcall")
+                        # The handler may have moved rip anywhere
+                        # (sigreturn): never chain across it.
+                        break
                     if pending >= batch_cycles:
                         yield Compute(pending * CYCLE_PS)
                         pending = 0
-                    continue
-                except BaseException:
-                    self.cycles += self._fault_cycles
-                    self.insns_retired = executed + i
-                    raise
-                executed += remaining
-                if remaining:
-                    self.cycles += block.cum[remaining - 1]
-                if not (block.terminator == T_BRANCH and remaining == n):
-                    self.rip = block.bounds[remaining]
-                self.insns_retired = executed
-                raise ExecutionFault(
-                    f"{self.name}: exceeded {max_insns} insns")
-        if pending:
-            yield Compute(pending * CYCLE_PS)
-        self.insns_retired = executed
-        return self.regs[_RAX]
+                    nxt = block.chain.get(self.rip)
+                    if (nxt is not None
+                            and nxt.version == nxt.segment.version
+                            and space.mapping_gen == tcache._mapping_gen):
+                        follows += 1
+                        block = nxt
+                        continue
+                    if superblocks:
+                        chain_src = block
+                    break
+            if pending:
+                yield Compute(pending * CYCLE_PS)
+            self.insns_retired = executed
+            return self.regs[_RAX]
+        finally:
+            stats.chain_follows += follows
+            stats.dispatch_blocks += dispatches
+            GLOBAL_STATS.chain_follows += follows
+            GLOBAL_STATS.dispatch_blocks += dispatches
 
     # -- the reference per-step loop -----------------------------------------
 
@@ -266,27 +372,28 @@ class Cpu:
                     f"{self.name}: exceeded {max_insns} insns")
             insn = self.step_decode()
             executed += 1
-            mnemonic = insn.mnemonic
-            if mnemonic == "hlt":
+            op_id = insn.op_id
+            if op_id == OP_HLT:
                 self.halted = True
-            elif mnemonic in ("syscall", "int0", "vsys", "vmcall"):
+            elif op_id in HANDLER_OP_IDS:
                 # Like hardware: rip points past the instruction while the
                 # handler runs (and is where sigreturn resumes for int0).
                 self.rip = insn.end
                 pending = yield from self._flush(pending)
-                if mnemonic == "syscall":
+                if op_id == OP_SYSCALL:
                     yield from self._invoke(self.syscall_handler, "syscall")
-                elif mnemonic == "int0":
+                elif op_id == OP_INT0:
                     yield from self._invoke(self.int0_handler, "int0")
-                elif mnemonic == "vsys":
+                elif op_id == OP_VSYS:
                     yield from self._invoke(self.vsys_handler, "vsys",
                                             insn.operands[0])
                 else:
                     yield from self._invoke(self.vmcall_handler, "vmcall")
             else:
                 self._execute_plain(insn)
-            self.cycles += insn.spec.cycles
-            pending += insn.spec.cycles
+            cyc = insn.spec.cycles
+            self.cycles += cyc
+            pending += cyc
             if pending >= batch_cycles:
                 pending = yield from self._flush(pending)
         yield from self._flush(pending)
@@ -307,66 +414,69 @@ class Cpu:
         if result is not None:
             self.regs[_RAX] = _wrap(result)
 
-    def _execute_plain(self, insn) -> bool:
-        m = insn.mnemonic
+    def _execute_plain(self, insn) -> None:
+        # Numeric-id dispatch with regs hoisted to a local: the per-step
+        # loop is the differential oracle and runs in every CI job, so
+        # its constant factor matters too (≈15% over the mnemonic-string
+        # chain, see PR notes).
+        op_id = insn.op_id
         ops = insn.operands
+        regs = self.regs
         next_rip = insn.end
-        if m == "nop":
-            pass
-        elif m == "jmp":
+        if op_id == OP_MOV:
+            regs[ops[0]] = regs[ops[1]]
+        elif op_id == OP_MOVI:
+            regs[ops[0]] = ops[1] & _MASK
+        elif op_id == OP_ADD:
+            regs[ops[0]] = (regs[ops[0]] + regs[ops[1]]) & _MASK
+        elif op_id == OP_ADDI:
+            regs[ops[0]] = (regs[ops[0]] + ops[1]) & _MASK
+        elif op_id == OP_SUB:
+            result = (regs[ops[0]] - regs[ops[1]]) & _MASK
+            regs[ops[0]] = result
+            self.zf = result == 0
+        elif op_id == OP_SUBI:
+            result = (regs[ops[0]] - ops[1]) & _MASK
+            regs[ops[0]] = result
+            self.zf = result == 0
+        elif op_id == OP_CMP:
+            self.zf = regs[ops[0]] == regs[ops[1]]
+        elif op_id == OP_CMPI:
+            self.zf = regs[ops[0]] == ops[1] & _MASK
+        elif op_id == OP_LOAD:
+            regs[ops[0]] = self.space.read_u64(regs[ops[1]] + ops[2])
+        elif op_id == OP_STORE:
+            self.space.write_u64(regs[ops[1]] + ops[2], regs[ops[0]])
+        elif op_id == OP_PUSH:
+            self.push(regs[ops[0]])
+        elif op_id == OP_POP:
+            regs[ops[0]] = self.pop()
+        elif op_id == OP_JMP:
             next_rip = insn.end + ops[0]
-        elif m == "jz":
+        elif op_id == OP_JZ:
             if self.zf:
                 next_rip = insn.end + ops[0]
-        elif m == "jnz":
+        elif op_id == OP_JNZ:
             if not self.zf:
                 next_rip = insn.end + ops[0]
-        elif m == "call":
+        elif op_id == OP_CALL:
             self.push(insn.end)
             next_rip = insn.end + ops[0]
-        elif m == "callr":
+        elif op_id == OP_CALLR:
             self.push(insn.end)
-            next_rip = self.regs[ops[0]]
-        elif m == "ret":
+            next_rip = regs[ops[0]]
+        elif op_id == OP_RET:
             next_rip = self.pop()
-        elif m == "mov":
-            self.regs[ops[0]] = self.regs[ops[1]]
-        elif m == "movi":
-            self.regs[ops[0]] = _wrap(ops[1])
-        elif m == "add":
-            self.regs[ops[0]] = _wrap(self.regs[ops[0]] + self.regs[ops[1]])
-        elif m == "addi":
-            self.regs[ops[0]] = _wrap(self.regs[ops[0]] + ops[1])
-        elif m == "sub":
-            result = _wrap(self.regs[ops[0]] - self.regs[ops[1]])
-            self.regs[ops[0]] = result
-            self.zf = result == 0
-        elif m == "subi":
-            result = _wrap(self.regs[ops[0]] - ops[1])
-            self.regs[ops[0]] = result
-            self.zf = result == 0
-        elif m == "cmp":
-            self.zf = self.regs[ops[0]] == self.regs[ops[1]]
-        elif m == "cmpi":
-            self.zf = self.regs[ops[0]] == _wrap(ops[1])
-        elif m == "push":
-            self.push(self.regs[ops[0]])
-        elif m == "pop":
-            self.regs[ops[0]] = self.pop()
-        elif m == "load":
-            addr = self.regs[ops[1]] + ops[2]
-            self.regs[ops[0]] = self.space.read_u64(addr)
-        elif m == "store":
-            addr = self.regs[ops[1]] + ops[2]
-            self.space.write_u64(addr, self.regs[ops[0]])
-        elif m == "pusha":
-            for i, value in enumerate(self.regs):
+        elif op_id == OP_NOP:
+            pass
+        elif op_id == OP_PUSHA:
+            for i, value in enumerate(regs):
                 if i != _RSP:
                     self.push(value)
-        elif m == "popa":
-            for i in reversed(range(len(self.regs))):
+        elif op_id == OP_POPA:
+            for i in reversed(range(len(regs))):
                 if i != _RSP:
-                    self.regs[i] = self.pop()
+                    regs[i] = self.pop()
         else:  # pragma: no cover - closed opcode table
-            raise ExecutionFault(f"unhandled mnemonic {m}")
+            raise ExecutionFault(f"unhandled mnemonic {insn.mnemonic}")
         self.rip = next_rip

@@ -12,7 +12,13 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.errors import DisassemblyError
-from repro.isa.opcodes import BRANCH_MNEMONICS, BY_OPCODE, OpSpec, REGISTERS
+from repro.isa.opcodes import (
+    BRANCH_MNEMONICS,
+    OPCODE_TO_ID,
+    OP_SPECS,
+    OpSpec,
+    REGISTERS,
+)
 
 
 @dataclass(frozen=True)
@@ -24,6 +30,9 @@ class Insn:
     raw: bytes
     #: Decoded operands, shape-dependent (see opcodes.OPERAND SHAPES).
     operands: Tuple
+    #: Dense numeric instruction id (see opcodes.OP_ID): interpreter and
+    #: translator dispatch on this instead of the mnemonic string.
+    op_id: int = -1
 
     @property
     def mnemonic(self) -> str:
@@ -70,10 +79,11 @@ def decode_one(code: bytes, offset: int, base_addr: int = 0) -> Insn:
     if offset >= len(code):
         raise DisassemblyError(f"decode past end at offset {offset}")
     opcode = code[offset]
-    spec = BY_OPCODE.get(opcode)
-    if spec is None:
+    op_id = OPCODE_TO_ID[opcode]
+    if op_id is None:
         raise DisassemblyError(
             f"undecodable byte {opcode:#04x} at offset {offset}")
+    spec = OP_SPECS[op_id]
     if offset + spec.length > len(code):
         raise DisassemblyError(
             f"truncated {spec.mnemonic} at offset {offset}")
@@ -100,7 +110,8 @@ def decode_one(code: bytes, offset: int, base_addr: int = 0) -> Insn:
                     struct.unpack("<i", body[2:6])[0])
     else:  # pragma: no cover - spec table is closed
         raise DisassemblyError(f"unhandled shape {shape!r}")
-    return Insn(addr=base_addr + offset, spec=spec, raw=raw, operands=operands)
+    return Insn(addr=base_addr + offset, spec=spec, raw=raw,
+                operands=operands, op_id=op_id)
 
 
 def linear_sweep(code: bytes, base_addr: int = 0) -> Iterator[Insn]:

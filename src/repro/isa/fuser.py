@@ -1,0 +1,385 @@
+"""Fused code generation for hot superblocks (the translator's tier 2).
+
+A translated :class:`~repro.isa.translator.CodeBlock` executes as a list
+of per-instruction closures; every op pays a Python call and a
+``regs[i]`` list access per operand.  Once a block runs hot (see
+``TranslationCache.fuse_threshold``) it is *fused*: the instruction
+sequence is compiled — ``compile``/``exec`` of generated source — into a
+single function with the touched guest registers held in Python locals
+and spilled back to ``cpu.regs`` only at block exit and at every point
+the per-step interpreter could observe partial state:
+
+* every faulting memory access spills the registers written so far (in
+  interpreter update order: e.g. ``push`` spills the decremented rsp,
+  ``pop`` the un-incremented one), then records the faulting rip and
+  pre-fault cycles exactly like the closure path;
+* every self-modification check (``store``/``push``/spanned ``call``
+  into the block's own segment) spills before raising its pre-built
+  :class:`~repro.isa.translator.BlockExit`;
+* ``pusha``/``popa`` — bulk ops whose cost is dominated by 15 memory
+  accesses anyway — spill, delegate to the original closure, and reload.
+
+The generated function is observably identical to running the closure
+list: same registers, zf, rip, cycles and exceptions at every exit,
+which the differential property in ``tests/test_translator.py`` checks
+against the per-step interpreter with fusion forced on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.memory import _U64
+from repro.isa.opcodes import (
+    OP_ADD,
+    OP_ADDI,
+    OP_CALL,
+    OP_CALLR,
+    OP_CMP,
+    OP_CMPI,
+    OP_JMP,
+    OP_JNZ,
+    OP_JZ,
+    OP_LOAD,
+    OP_MOV,
+    OP_MOVI,
+    OP_NOP,
+    OP_POP,
+    OP_POPA,
+    OP_PUSH,
+    OP_PUSHA,
+    OP_RET,
+    OP_STORE,
+    OP_SUB,
+    OP_SUBI,
+    REG_INDEX,
+)
+from repro.isa.translator import T_BRANCH, BlockExit
+
+_MASK = 2 ** 64 - 1
+_RSP = REG_INDEX["rsp"]
+
+#: Ops executed through their original closure even in fused code.
+_CLOSURE_OP_IDS = frozenset({OP_PUSHA, OP_POPA})
+
+#: Ops that read zf (conditional terminators) or write it.
+_ZF_WRITERS = frozenset({OP_SUB, OP_SUBI, OP_CMP, OP_CMPI})
+_ZF_READERS = frozenset({OP_JZ, OP_JNZ})
+
+
+def _insn_regs(insn) -> List[int]:
+    """Guest registers an instruction touches through locals."""
+    op_id = insn.op_id
+    ops = insn.operands
+    if op_id in (OP_MOV, OP_ADD, OP_SUB, OP_CMP):
+        return [ops[0], ops[1]]
+    if op_id in (OP_MOVI, OP_ADDI, OP_SUBI, OP_CMPI):
+        return [ops[0]]
+    if op_id in (OP_PUSH, OP_POP):
+        return [ops[0], _RSP]
+    if op_id in (OP_LOAD, OP_STORE):
+        return [ops[0], ops[1]]
+    if op_id == OP_CALLR:
+        return [ops[0], _RSP]
+    if op_id in (OP_CALL, OP_RET):
+        return [_RSP]
+    return []  # nop, jmp, jz, jnz, pusha/popa (closure-run)
+
+
+class _Emitter:
+    """Builds the fused function source, tracking which locals are dirty
+    so fault-site spills restore exactly the interpreter-visible state."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.dirty: set = set()
+        self.zf_dirty = False
+        #: Extra indent applied to every emit (self-loop bodies sit one
+        #: level inside a ``while``).
+        self.base = 0
+        #: Set to the block's total cycles when emitting a self-loop
+        #: body; fault/bail accounting then scales by the completed
+        #: iteration count ``_it``.
+        self.loop_total: Optional[int] = None
+
+    def emit(self, line: str, indent: int = 1) -> None:
+        self.lines.append("    " * (indent + self.base) + line)
+
+    def _cyc_expr(self, cyc_before: int) -> str:
+        if self.loop_total is not None:
+            return f"{cyc_before} + _it * {self.loop_total}"
+        return str(cyc_before)
+
+    def spills(self) -> List[str]:
+        out = [f"regs[{i}] = r{i}" for i in sorted(self.dirty)]
+        if self.zf_dirty:
+            out.append("cpu.zf = zf")
+        return out
+
+    def emit_fault_guard(self, body: str, addr: int, cyc_before: int,
+                         indent: int = 1) -> None:
+        """``try: <body>`` with the closure-identical fault epilogue."""
+        self.emit("try:", indent)
+        self.emit(body, indent + 1)
+        self.emit("except BaseException:", indent)
+        for line in self.spills():
+            self.emit(line, indent + 1)
+        self.emit(f"cpu.rip = {addr}", indent + 1)
+        self.emit(f"cpu._fault_cycles = {self._cyc_expr(cyc_before)}",
+                  indent + 1)
+        self.emit("raise", indent + 1)
+
+    # The u64 fast paths of AddressSpace.read_u64/write_u64, inlined:
+    # same page-cache lookup, same bounds + permission re-checks, with
+    # the real accessor (and the fault epilogue) as the fallback — so a
+    # fused access is observably identical to the closure path while a
+    # hit costs no Python call at all.
+
+    def emit_load(self, dest: str, addr_expr: str, addr: int,
+                  cyc_before: int) -> None:
+        self.emit(f"_a = {addr_expr}")
+        self.emit("_s = pages.get(_a >> 12)")
+        self.emit("if (_s is not None and _s.r_ok and _s.start <= _a "
+                  "and _a + 8 <= _s.end):")
+        self.emit(f"{dest} = unpack(_s.data, _a - _s.start)[0]", 2)
+        self.emit("else:")
+        self.emit_fault_guard(f"{dest} = read_u64(_a)", addr, cyc_before,
+                              indent=2)
+
+    def emit_store(self, addr_expr: str, value: str, addr: int,
+                   cyc_before: int) -> None:
+        self.emit(f"_a = {addr_expr}")
+        self.emit("_s = pages.get(_a >> 12)")
+        self.emit("if (_s is not None and _s.w_ok and _s.start <= _a "
+                  "and _a + 8 <= _s.end):")
+        self.emit(f"pack(_s.data, _a - _s.start, {value})", 2)
+        self.emit("_s.version += 1", 2)
+        self.emit("else:")
+        self.emit_fault_guard(f"write_u64(_a, {value})", addr, cyc_before,
+                              indent=2)
+
+    def emit_bail_check(self, version: int, bail_index: int,
+                        next_rip: int, cyc_after: int, n_done: int,
+                        block_n: int) -> None:
+        self.emit(f"if seg.version != {version}:")
+        for line in self.spills():
+            self.emit(line, 2)
+        if self.loop_total is not None:
+            # Iteration-aware exit: cycles/insns retired so far are the
+            # completed iterations plus this iteration's prefix.
+            self.emit(f"raise BlockExit({next_rip}, "
+                      f"{cyc_after} + _it * {self.loop_total}, "
+                      f"{n_done} + _it * {block_n})", 2)
+        else:
+            self.emit(f"raise bails[{bail_index}]", 2)
+
+
+def fuse_block(cpu, block):
+    """Compile ``block`` into a single callable; see module docstring."""
+    insns = block.insns
+    n = len(insns)
+    terminator = block.terminator
+    version = block.version
+    cum = block.cum
+
+    localized: set = set()
+    zf_used = False
+    for insn in insns:
+        localized.update(_insn_regs(insn))
+        if insn.op_id in _ZF_WRITERS or insn.op_id in _ZF_READERS:
+            zf_used = True
+
+    # A block whose terminating branch can target its own entry is a
+    # *self-loop*: the fused function iterates in place (bounded by the
+    # caller-supplied insn budget and cycle batch), so a hot loop costs
+    # one Python call per ~batch instead of one per iteration.  All
+    # accounting at fault/bail sites scales by the completed iteration
+    # count, keeping rip/cycles/insns exactly per-step-identical.
+    is_loop = False
+    if n and terminator == T_BRANCH:
+        last = insns[-1]
+        if last.op_id == OP_JMP:
+            is_loop = last.end + last.operands[0] == block.entry
+        elif last.op_id in (OP_JZ, OP_JNZ):
+            is_loop = (last.end + last.operands[0] == block.entry
+                       or last.end == block.entry)
+
+    bails: List[Optional[BlockExit]] = [None] * n
+    em = _Emitter()
+    for i in sorted(localized):
+        em.emit(f"r{i} = regs[{i}]")
+    if zf_used:
+        em.emit("zf = cpu.zf")
+    if is_loop:
+        em.emit(f"_k = (remaining - 1) // {n}")
+        em.emit(f"_kb = budget // {block.cycles}")
+        em.emit("if _kb < _k:")
+        em.emit("_k = _kb", 2)
+        em.emit("if _k < 1:")
+        em.emit("_k = 1", 2)
+        em.emit("_it = 0")
+        em.emit("while True:")
+        em.base = 1
+        em.loop_total = block.cycles
+
+    for i, insn in enumerate(insns):
+        op_id = insn.op_id
+        opnd = insn.operands
+        addr = insn.addr
+        cyc_before = cum[i - 1] if i else 0
+        is_term = i == n - 1 and terminator == T_BRANCH
+
+        if op_id == OP_NOP:
+            continue
+        if op_id == OP_MOV:
+            d, s = opnd
+            if d != s:
+                em.emit(f"r{d} = r{s}")
+                em.dirty.add(d)
+        elif op_id == OP_MOVI:
+            d, imm = opnd
+            em.emit(f"r{d} = {imm & _MASK}")
+            em.dirty.add(d)
+        elif op_id == OP_ADD:
+            d, s = opnd
+            em.emit(f"r{d} = (r{d} + r{s}) & {_MASK}")
+            em.dirty.add(d)
+        elif op_id == OP_ADDI:
+            d, imm = opnd
+            em.emit(f"r{d} = (r{d} + {imm}) & {_MASK}")
+            em.dirty.add(d)
+        elif op_id == OP_SUB:
+            d, s = opnd
+            em.emit(f"r{d} = (r{d} - r{s}) & {_MASK}")
+            em.emit(f"zf = r{d} == 0")
+            em.dirty.add(d)
+            em.zf_dirty = True
+        elif op_id == OP_SUBI:
+            d, imm = opnd
+            em.emit(f"r{d} = (r{d} - {imm}) & {_MASK}")
+            em.emit(f"zf = r{d} == 0")
+            em.dirty.add(d)
+            em.zf_dirty = True
+        elif op_id == OP_CMP:
+            d, s = opnd
+            em.emit(f"zf = r{d} == r{s}")
+            em.zf_dirty = True
+        elif op_id == OP_CMPI:
+            d, imm = opnd
+            em.emit(f"zf = r{d} == {imm & _MASK}")
+            em.zf_dirty = True
+        elif op_id == OP_PUSH:
+            s = opnd[0]
+            # Source read before rsp moves (matters for `push rsp`).
+            if s == _RSP:
+                em.emit(f"_t = r{_RSP}")
+                value = "_t"
+            else:
+                value = f"r{s}"
+            em.emit(f"r{_RSP} = (r{_RSP} - 8) & {_MASK}")
+            em.dirty.add(_RSP)
+            em.emit_store(f"r{_RSP}", value, addr, cyc_before)
+            bails[i] = BlockExit(block.bounds[i + 1], cum[i], i + 1)
+            em.emit_bail_check(version, i, block.bounds[i + 1], cum[i],
+                               i + 1, n)
+        elif op_id == OP_POP:
+            d = opnd[0]
+            em.emit_load("_t", f"r{_RSP}", addr, cyc_before)
+            em.emit(f"r{_RSP} = (r{_RSP} + 8) & {_MASK}")
+            em.dirty.add(_RSP)
+            em.emit(f"r{d} = _t")
+            em.dirty.add(d)
+        elif op_id == OP_LOAD:
+            d, b, disp = opnd
+            em.emit_load(f"r{d}", f"r{b} + {disp}", addr, cyc_before)
+            em.dirty.add(d)
+        elif op_id == OP_STORE:
+            s, b, disp = opnd
+            em.emit_store(f"r{b} + {disp}", f"r{s}", addr, cyc_before)
+            bails[i] = BlockExit(block.bounds[i + 1], cum[i], i + 1)
+            em.emit_bail_check(version, i, block.bounds[i + 1], cum[i],
+                               i + 1, n)
+        elif op_id in _CLOSURE_OP_IDS:
+            # Delegate to the original closure: spill so it sees (and on
+            # a fault leaves) exact state, then reload every local.
+            for line in em.spills():
+                em.emit(line)
+            em.dirty.clear()
+            em.zf_dirty = False
+            em.emit(f"ops[{i}]()")
+            for r in sorted(localized):
+                em.emit(f"r{r} = regs[{r}]")
+        elif op_id == OP_JMP:
+            if is_term:
+                # In a self-loop (where the target is the entry) rip
+                # lives in the `_nr` local until the loop exits.
+                rip = "_nr" if is_loop else "cpu.rip"
+                em.emit(f"{rip} = {insn.end + opnd[0]}")
+            # else: spanned — pure accounting, no state moves.
+        elif op_id == OP_JZ:
+            taken = insn.end + opnd[0]
+            rip = "_nr" if is_loop and is_term else "cpu.rip"
+            em.emit(f"{rip} = {taken} if zf else {insn.end}")
+        elif op_id == OP_JNZ:
+            taken = insn.end + opnd[0]
+            rip = "_nr" if is_loop and is_term else "cpu.rip"
+            em.emit(f"{rip} = {insn.end} if zf else {taken}")
+        elif op_id == OP_CALL:
+            em.emit(f"r{_RSP} = (r{_RSP} - 8) & {_MASK}")
+            em.dirty.add(_RSP)
+            em.emit_store(f"r{_RSP}", str(insn.end), addr, cyc_before)
+            if is_term:
+                em.emit(f"cpu.rip = {insn.end + opnd[0]}")
+            else:
+                # Spanned call: bail to the *callee* if the push rewrote
+                # this block's own code (bounds[i+1] is the target).
+                bails[i] = BlockExit(block.bounds[i + 1], cum[i], i + 1)
+                em.emit_bail_check(version, i, block.bounds[i + 1],
+                                   cum[i], i + 1, n)
+        elif op_id == OP_CALLR:
+            r = opnd[0]
+            em.emit(f"r{_RSP} = (r{_RSP} - 8) & {_MASK}")
+            em.dirty.add(_RSP)
+            em.emit_store(f"r{_RSP}", str(insn.end), addr, cyc_before)
+            # Target read after the push, like the interpreter (matters
+            # for callr rsp).
+            em.emit(f"cpu.rip = r{r}")
+        elif op_id == OP_RET:
+            em.emit_load("_t", f"r{_RSP}", addr, cyc_before)
+            em.emit(f"r{_RSP} = (r{_RSP} + 8) & {_MASK}")
+            em.dirty.add(_RSP)
+            em.emit("cpu.rip = _t")
+        else:  # pragma: no cover - closed opcode table
+            raise AssertionError(f"unfusable op id {op_id}")
+
+    if is_loop:
+        em.emit("_it += 1")
+        em.emit(f"if _it >= _k or _nr != {block.entry}:")
+        em.emit("cpu.rip = _nr", 2)
+        em.emit("break", 2)
+        em.base = 0
+        em.loop_total = None
+    for line in em.spills():
+        em.emit(line)
+    em.emit("return _it" if is_loop else "return 1")
+
+    header = ("def _fused(remaining, budget, cpu=_cpu, regs=_regs, "
+              "read_u64=_read_u64, write_u64=_write_u64, seg=_seg, "
+              "ops=_ops, bails=_bails, pages=_pages, unpack=_unpack, "
+              "pack=_pack, BlockExit=_BlockExit):")
+    source = header + "\n" + "\n".join(em.lines) + "\n"
+    namespace = {
+        "_cpu": cpu,
+        "_regs": cpu.regs,
+        "_read_u64": cpu.space.read_u64,
+        "_write_u64": cpu.space.write_u64,
+        "_seg": block.segment,
+        "_ops": block.ops,
+        "_bails": tuple(bails),
+        "_pages": cpu.space._pages,
+        "_unpack": _U64.unpack_from,
+        "_pack": _U64.pack_into,
+        "_BlockExit": BlockExit,
+    }
+    exec(compile(source, f"<fused:{block.entry:#x}>", "exec"), namespace)
+    return namespace["_fused"]

@@ -13,6 +13,9 @@ from typing import Dict, List, Optional
 
 from repro.errors import ExecutionFault, RewriteError
 
+_MASK64 = 2 ** 64 - 1
+_U64 = struct.Struct("<Q")
+
 
 class Segment:
     """A contiguous mapped region."""
@@ -33,6 +36,18 @@ class Segment:
         # an equal-length splice), so the end is a plain attribute — this
         # sits on the per-access path of every find/read/write.
         self.end = start + len(self.data)
+        # Permission booleans mirror :attr:`perms` (kept in sync by
+        # mprotect): the u64 fast paths test these instead of scanning
+        # the permission string per access.
+        self.r_ok = "r" in perms
+        self.w_ok = "w" in perms
+        self.x_ok = "x" in perms
+
+    def _sync_perm_flags(self) -> None:
+        perms = self.perms
+        self.r_ok = "r" in perms
+        self.w_ok = "w" in perms
+        self.x_ok = "x" in perms
 
     def contains(self, addr: int) -> bool:
         return self.start <= addr < self.end
@@ -53,8 +68,17 @@ class AddressSpace:
         self.exec_hooks: List = []
         #: Bumped whenever the segment *layout* changes (map/unmap), so
         #: address-keyed caches can drop blocks whose address may now
-        #: resolve to a different segment.
+        #: resolve to a different segment.  Also bumped when mprotect
+        #: removes execute permission: directly-chained translated blocks
+        #: skip the per-dispatch perms check, so losing "x" must force a
+        #: full translation-cache flush to keep de-executed code from
+        #: running through a stale chain.
         self.mapping_gen = 0
+        #: page (addr >> 12) → segment, fed by :meth:`find` and consumed
+        #: by the u64 fast paths.  Entries are only trusted after a full
+        #: bounds + permission re-check, so the only invalidation needed
+        #: is on unmap.
+        self._pages: Dict[int, Segment] = {}
 
     def map(self, segment: Segment) -> Segment:
         for other in self.segments:
@@ -70,10 +94,12 @@ class AddressSpace:
     def unmap(self, segment: Segment) -> None:
         self.segments.remove(segment)
         self.mapping_gen += 1
+        self._pages.clear()
 
     def find(self, addr: int) -> Segment:
         for segment in self.segments:
             if segment.contains(addr):
+                self._pages[addr >> 12] = segment
                 return segment
         raise ExecutionFault(f"unmapped address {addr:#x}")
 
@@ -89,7 +115,15 @@ class AddressSpace:
             raise RewriteError(
                 f"{segment.name}: W^X violation (requested {perms!r})")
         newly_executable = "x" in perms and "x" not in segment.perms
+        lost_execute = "x" not in perms and "x" in segment.perms
         segment.perms = perms
+        segment._sync_perm_flags()
+        if lost_execute:
+            # Chained translated blocks bypass the per-dispatch perms
+            # check; treat losing "x" like a layout change so caches
+            # flush and the next dispatch faults exactly like per-step
+            # decode would.
+            self.mapping_gen += 1
         if newly_executable:
             self._fire_exec_hooks(segment)
 
@@ -115,10 +149,24 @@ class AddressSpace:
         segment.version += 1
 
     def read_u64(self, addr: int) -> int:
-        return struct.unpack("<Q", self.read(addr, 8))[0]
+        # Page-cache fast path: every condition the slow path enforces is
+        # re-checked here (containment, readability, no segment-end
+        # crossing), so the two paths are observably identical and the
+        # slow path keeps sole ownership of fault messages.
+        seg = self._pages.get(addr >> 12)
+        if (seg is not None and seg.r_ok and seg.start <= addr
+                and addr + 8 <= seg.end):
+            return _U64.unpack_from(seg.data, addr - seg.start)[0]
+        return _U64.unpack(self.read(addr, 8))[0]
 
     def write_u64(self, addr: int, value: int) -> None:
-        self.write(addr, struct.pack("<Q", value & (2 ** 64 - 1)))
+        seg = self._pages.get(addr >> 12)
+        if (seg is not None and seg.w_ok and seg.start <= addr
+                and addr + 8 <= seg.end):
+            _U64.pack_into(seg.data, addr - seg.start, value & _MASK64)
+            seg.version += 1
+            return
+        self.write(addr, _U64.pack(value & _MASK64))
 
     def fetch_code(self, addr: int, size: int) -> bytes:
         """Instruction fetch: requires execute permission."""

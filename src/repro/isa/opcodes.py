@@ -143,6 +143,21 @@ HANDLER_OP_IDS = frozenset(
 CONTROL_OP_IDS = frozenset(
     {OP_JMP, OP_JZ, OP_JNZ, OP_CALL, OP_CALLR, OP_RET})
 
+#: Direct transfers whose target is a translate-time constant: a
+#: superblock may continue *through* them instead of ending (jmp spans
+#: to its target, call spans to the callee after pushing the return
+#: address).  Conditionals stay terminators — both outcomes are covered
+#: by direct-threaded chaining instead.
+DIRECT_SPAN_OP_IDS = frozenset({OP_JMP, OP_CALL})
+
+#: Indirect transfers — the target is only known at run time, so they
+#: always terminate a superblock.
+INDIRECT_OP_IDS = frozenset({OP_CALLR, OP_RET})
+
+#: Per-id cycle cost, indexable by instruction id (avoids the
+#: ``insn.spec.cycles`` attribute chain on the dispatch path).
+OP_CYCLES: Tuple[int, ...] = tuple(s.cycles for s in _SPECS)
+
 #: Opcodes that transfer control (their rel32 targets are branch targets).
 BRANCH_MNEMONICS = frozenset({"jmp", "jz", "jnz", "call"})
 

@@ -98,11 +98,19 @@ class BlockExit(Exception):
         self.n_done = n_done
 
 
+#: Superblock length histogram buckets: lengths land in bucket
+#: ``bit_length`` (same power-of-two rule as obs.metrics.Histogram), and
+#: the insn cap of 128 bounds the exponent at 8.
+SB_LEN_BUCKETS = 9
+
+
 class CacheStats:
     """Hit/miss/invalidation counters for one cache (or the process)."""
 
     __slots__ = ("hits", "misses", "invalidations", "blocks_translated",
-                 "insns_translated")
+                 "insns_translated", "chains_linked", "chains_broken",
+                 "chain_follows", "dispatch_blocks", "fused_blocks",
+                 "sb_len_buckets")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -110,15 +118,38 @@ class CacheStats:
         self.invalidations = 0
         self.blocks_translated = 0
         self.insns_translated = 0
+        #: Direct-threaded chaining: exit→entry links patched in (linked),
+        #: dropped by invalidation (broken), and block entries reached by
+        #: following a link (chain_follows) versus through the dispatch
+        #: loop's full lookup (dispatch_blocks).
+        self.chains_linked = 0
+        self.chains_broken = 0
+        self.chain_follows = 0
+        self.dispatch_blocks = 0
+        #: Blocks promoted to a fused (compiled) body after going hot.
+        self.fused_blocks = 0
+        self.sb_len_buckets = [0] * SB_LEN_BUCKETS
+
+    def observe_length(self, n_insns: int) -> None:
+        bucket = n_insns.bit_length() if n_insns > 0 else 0
+        self.sb_len_buckets[min(bucket, SB_LEN_BUCKETS - 1)] += 1
 
     def as_dict(self) -> Dict[str, int]:
-        return {
+        counters = {
             "tcache.hits": self.hits,
             "tcache.misses": self.misses,
             "tcache.invalidations": self.invalidations,
             "tcache.blocks_translated": self.blocks_translated,
             "tcache.insns_translated": self.insns_translated,
+            "tcache.chains_linked": self.chains_linked,
+            "tcache.chains_broken": self.chains_broken,
+            "tcache.chain_follows": self.chain_follows,
+            "tcache.dispatch_blocks": self.dispatch_blocks,
+            "tcache.fused_blocks": self.fused_blocks,
         }
+        for exp, count in enumerate(self.sb_len_buckets):
+            counters[f"tcache.sb_len_p2_{exp}"] = count
+        return counters
 
 
 #: Process-wide aggregate over every cache; ``repro.obs.metrics`` reads
@@ -127,15 +158,16 @@ GLOBAL_STATS = CacheStats()
 
 
 class CodeBlock:
-    """One translated basic block."""
+    """One translated superblock (or basic block in ``blocks`` mode)."""
 
     __slots__ = ("entry", "ops", "n_ops", "cycles", "cum", "bounds",
                  "terminator", "term_arg", "term_addr", "term_end",
-                 "term_cycles", "end_rip", "segment", "version")
+                 "term_cycles", "end_rip", "segment", "version", "insns",
+                 "chain", "hot", "fn")
 
     def __init__(self, entry, ops, cycles, cum, bounds, terminator,
                  term_arg, term_addr, term_end, term_cycles, end_rip,
-                 segment, version) -> None:
+                 segment, version, insns=()) -> None:
         self.entry = entry
         self.ops = ops
         self.n_ops = len(ops)
@@ -150,6 +182,19 @@ class CodeBlock:
         self.end_rip = end_rip        # resume address for T_FALL
         self.segment = segment
         self.version = version
+        #: Decoded instructions behind ``ops`` (same indexing), kept for
+        #: the fused-code generator.
+        self.insns = insns
+        #: Direct-threaded chain: successor rip → successor CodeBlock,
+        #: patched in on first execution of each exit and dropped when
+        #: the successor is invalidated.  Validity is re-checked at every
+        #: follow (segment version + mapping generation).
+        self.chain: Dict[int, "CodeBlock"] = {}
+        #: Executions seen; promotion to a fused body happens at the
+        #: cache's fuse threshold.
+        self.hot = 0
+        #: Fused compiled body (see repro.isa.fuser), or None while cold.
+        self.fn = None
 
 
 class _OpCtx:
@@ -503,21 +548,81 @@ def _c_popa(insn, ctx):
     return op
 
 
+# -- spanned direct transfers (superblock formation) ----------------------
+#
+# When a superblock continues *through* a direct jmp, the jump costs its
+# cycle but moves no architectural state the trace doesn't already know:
+# the op is an accounting placeholder so ops/bounds/cum stay parallel
+# arrays.  A spanned call does real work (pushes the return address) and
+# must bail to its *target* if the push modified this block's own code.
+
+
+def _noop():
+    pass
+
+
+def _c_call_span(insn, ctx):
+    """A direct call spanned mid-trace: push the return address and keep
+    going at the translate-time target (``ctx.next_addr``)."""
+    cpu, regs, write_u64 = ctx.cpu, ctx.regs, ctx.write_u64
+    ret_addr = insn.end
+    fault_addr = insn.addr
+    cyc_before = ctx.cyc_before
+    seg, version = ctx.segment, ctx.version
+    bail = BlockExit(ctx.next_addr, ctx.cyc_after, ctx.n_done)
+
+    def op():
+        rsp = (regs[_RSP] - 8) & _MASK
+        regs[_RSP] = rsp
+        try:
+            write_u64(rsp, ret_addr)
+        except BaseException:
+            cpu.rip = fault_addr
+            cpu._fault_cycles = cyc_before
+            raise
+        if seg.version != version:
+            raise bail
+    return op
+
+
 # -- the cache -----------------------------------------------------------
 
 
+#: Executions of a block before it is promoted to a fused compiled body.
+#: Low enough that any loop fuses almost immediately; high enough that
+#: straight-line code executed once never pays the compile.
+FUSE_THRESHOLD = 8
+
+#: Superblock formation never crosses a 4 KiB page boundary from its
+#: entry — the paper-side invalidation granularity.
+_PAGE_MASK = ~0xFFF
+
+
 class TranslationCache:
-    """Entry-address-keyed cache of :class:`CodeBlock` for one Cpu."""
+    """Entry-address-keyed cache of :class:`CodeBlock` for one Cpu.
+
+    ``superblocks=True`` (the default) builds traces that span direct
+    branches and fall-throughs, chains block exits directly to successor
+    blocks, and promotes hot blocks to fused compiled bodies.
+    ``superblocks=False`` reproduces the PR 3 behaviour — one basic
+    block per control transfer, every entry through the dispatch loop —
+    and is kept as the machine-independent benchmark baseline
+    (``Cpu(translate="blocks")``).
+    """
 
     __slots__ = ("space", "blocks", "by_segment", "stats",
-                 "max_block_insns", "_mapping_gen")
+                 "max_block_insns", "superblocks", "fuse_threshold",
+                 "_mapping_gen")
 
-    def __init__(self, space, max_block_insns: int = 128) -> None:
+    def __init__(self, space, max_block_insns: int = 128,
+                 superblocks: bool = True) -> None:
         self.space = space
         self.blocks: Dict[int, CodeBlock] = {}
         self.by_segment: Dict[int, Set[int]] = {}
         self.stats = CacheStats()
         self.max_block_insns = max_block_insns
+        self.superblocks = superblocks
+        self.fuse_threshold = FUSE_THRESHOLD
         self._mapping_gen = space.mapping_gen
 
     def lookup(self, cpu) -> CodeBlock:
@@ -553,23 +658,54 @@ class TranslationCache:
     def flush(self) -> None:
         """Drop every cached block (segment layout changed)."""
         dropped = len(self.blocks)
+        broken = 0
+        for block in self.blocks.values():
+            broken += len(block.chain)
         self.stats.invalidations += dropped
+        self.stats.chains_broken += broken
         GLOBAL_STATS.invalidations += dropped
+        GLOBAL_STATS.chains_broken += broken
         self.blocks.clear()
         self.by_segment.clear()
 
     def _evict_segment(self, segment) -> None:
-        """Drop all blocks translated from a now-stale segment."""
+        """Drop all blocks translated from a now-stale segment, and
+        eagerly unlink every chain edge into them so no survivor can
+        reach an evicted block without a fresh dispatch."""
         entries = self.by_segment.pop(id(segment), None)
         if not entries:
             return
-        self.stats.invalidations += len(entries)
-        GLOBAL_STATS.invalidations += len(entries)
+        broken = 0
         for entry in entries:
-            self.blocks.pop(entry, None)
+            evicted = self.blocks.pop(entry, None)
+            if evicted is not None:
+                broken += len(evicted.chain)
+        for block in self.blocks.values():
+            chain = block.chain
+            if not chain:
+                continue
+            stale = [rip for rip, succ in chain.items()
+                     if succ.segment is segment]
+            for rip in stale:
+                del chain[rip]
+            broken += len(stale)
+        self.stats.invalidations += len(entries)
+        self.stats.chains_broken += broken
+        GLOBAL_STATS.invalidations += len(entries)
+        GLOBAL_STATS.chains_broken += broken
 
     def translate(self, cpu, rip: int) -> CodeBlock:
-        """Decode one basic block starting at ``rip``."""
+        """Decode one superblock (or basic block) starting at ``rip``.
+
+        In superblock mode the trace continues *through* direct
+        ``jmp``/``call`` (the jump becomes an accounting no-op, the call
+        pushes its return address and resumes decoding at the callee)
+        and ends only at conditionals and indirect transfers (covered by
+        chaining), handler/hlt instructions, the insn cap, a revisited
+        address, or the edge of the entry's 4 KiB page.  In basic-block
+        mode (``superblocks=False``) every control transfer ends the
+        block — the PR 3 shape, byte-for-byte.
+        """
         space = self.space
         segment = space.find(rip)
         if "x" not in segment.perms:
@@ -583,6 +719,7 @@ class TranslationCache:
         write_u64 = space.write_u64
 
         ops: List = []
+        insns: List = []
         bounds: List[int] = []
         cum: List[int] = []
         total = 0
@@ -594,6 +731,10 @@ class TranslationCache:
         offset = rip - base
         addr = rip
         limit = self.max_block_insns
+        span = self.superblocks
+        page_start = rip & _PAGE_MASK
+        page_end = page_start + 0x1000
+        visited: Set[int] = set()
         while len(ops) < limit:
             try:
                 insn = decode_one(code, offset, base)
@@ -605,7 +746,7 @@ class TranslationCache:
                 # Otherwise stop the block *before* the bad bytes: the
                 # fault fires only if execution actually reaches them.
                 break
-            op_id = OPCODE_TO_ID[insn.raw[0]]
+            op_id = insn.op_id
             if op_id in HANDLER_OP_IDS:
                 if op_id == OP_HLT:
                     terminator = T_HLT
@@ -623,24 +764,48 @@ class TranslationCache:
                 term_cycles = insn.spec.cycles
                 break
             cycles = insn.spec.cycles
+            next_addr = insn.end
+            compiler = _COMPILERS[op_id]
+            spanned = False
+            if span and (op_id == OP_JMP or op_id == OP_CALL):
+                target = insn.end + insn.operands[0]
+                if (base <= target < segment.end
+                        and page_start <= target < page_end
+                        and target not in visited
+                        and len(ops) + 1 < limit):
+                    # Continue the trace through the direct transfer.
+                    spanned = True
+                    next_addr = target
+                    compiler = None if op_id == OP_JMP else _c_call_span
             ctx = _OpCtx(cpu, regs, read_u64, write_u64, segment,
                          version, total, total + cycles, len(ops) + 1,
-                         insn.end)
+                         next_addr)
             total += cycles
-            ops.append(_COMPILERS[op_id](insn, ctx))
+            ops.append(_noop if compiler is None else compiler(insn, ctx))
+            insns.append(insn)
             bounds.append(insn.addr)
             cum.append(total)
-            offset += insn.spec.length
-            addr = insn.end
-            if op_id in CONTROL_OP_IDS:
+            visited.add(insn.addr)
+            if op_id in CONTROL_OP_IDS and not spanned:
                 terminator = T_BRANCH
+                addr = insn.end
+                break
+            addr = next_addr
+            offset = addr - base
+            if span and (addr in visited
+                         or not page_start <= addr < page_end):
+                # Loop closed or page edge: stop here and let chaining
+                # thread this exit to the successor block.
                 break
 
-        self.stats.blocks_translated += 1
-        self.stats.insns_translated += len(ops)
+        stats = self.stats
+        stats.blocks_translated += 1
+        stats.insns_translated += len(ops)
+        stats.observe_length(len(ops))
         GLOBAL_STATS.blocks_translated += 1
         GLOBAL_STATS.insns_translated += len(ops)
+        GLOBAL_STATS.observe_length(len(ops))
         return CodeBlock(rip, tuple(ops), total, tuple(cum),
                          tuple(bounds) + (addr,), terminator, term_arg,
                          term_addr, term_end, term_cycles, addr, segment,
-                         version)
+                         version, tuple(insns))

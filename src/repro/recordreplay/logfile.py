@@ -16,54 +16,66 @@ from __future__ import annotations
 import struct
 from typing import Iterator, List, Tuple
 
-from repro.core.events import (
-    EV_CLONE,
-    EV_EXIT,
-    EV_FORK,
-    EV_SIGNAL,
-    EV_SYSCALL,
-    Event,
-)
+from repro.core.events import ETYPE_CODES, ETYPE_NAMES, Event
 from repro.errors import RecordReplayError
 from repro.kernel.uapi import SYSCALL_NAMES
 
 MAGIC = 0x5641_5241  # "VARA"
 
-_ETYPE_CODES = {EV_SYSCALL: 0, EV_SIGNAL: 1, EV_FORK: 2, EV_CLONE: 3,
-                EV_EXIT: 4}
-_ETYPE_NAMES = {code: name for name, code in _ETYPE_CODES.items()}
+# Wire codes live with the event definition so the log format and the
+# packed ring-slot layout cannot drift apart.
+_ETYPE_CODES = ETYPE_CODES
+_ETYPE_NAMES = ETYPE_NAMES
 
 _HEADER = struct.Struct("<II")
 
+#: Per-shape body packers, keyed by (nargs, aux_kind, naux, nfds).  The
+#: format is little-endian and unpadded, so one Struct covering the
+#: whole body emits bytes identical to the original field-at-a-time
+#: encoder ("<Biq"+"<Hq"+... concatenated) — checked by the
+#: byte-identity CI step.
+_BODY_PACKERS: dict = {}
+
+
+def _body_packer(nargs: int, aux_kind: int, naux: int,
+                 nfds: int) -> struct.Struct:
+    key = (nargs, aux_kind, naux, nfds)
+    packer = _BODY_PACKERS.get(key)
+    if packer is None:
+        aux_q = 2 * naux if aux_kind else naux
+        packer = _BODY_PACKERS[key] = struct.Struct(
+            f"<BiqHqB{nargs}qBB{aux_q}qB{nfds}iI")
+    return packer
+
 
 def encode_event(event: Event, payload: bytes = b"") -> bytes:
-    """Serialise one event (with its already-extracted payload)."""
-    body = bytearray()
-    body += struct.pack("<Biq", _ETYPE_CODES[event.etype], event.nr,
-                        event.clock)
-    body += struct.pack("<Hq", event.tindex, event.retval)
+    """Serialise one event (with its already-extracted payload).
+
+    One pre-compiled Struct pack per record (cached by shape) instead of
+    per-field packs; the byte stream is unchanged.
+    """
     int_args = [a for a in event.args if isinstance(a, int)]
-    body += struct.pack("<B", len(int_args))
-    for arg in int_args:
-        body += struct.pack("<q", arg)
     # aux is either flat ints or (fd, mask)-style int pairs (epoll_wait);
     # a kind byte distinguishes the two shapes.
     if event.aux and all(isinstance(a, tuple) and len(a) == 2
                          for a in event.aux):
-        body += struct.pack("<BB", 1, len(event.aux))
-        for first, second in event.aux:
-            body += struct.pack("<qq", first, second)
+        aux_kind = 1
+        naux = len(event.aux)
+        aux_values = [value for pair in event.aux for value in pair]
     else:
-        int_aux = [a for a in event.aux if isinstance(a, int)]
-        body += struct.pack("<BB", 0, len(int_aux))
-        for aux in int_aux:
-            body += struct.pack("<q", aux)
-    body += struct.pack("<B", len(event.fd_numbers))
-    for fd in event.fd_numbers:
-        body += struct.pack("<i", fd)
-    body += struct.pack("<I", len(payload))
-    body += payload
-    return _HEADER.pack(MAGIC, len(body)) + bytes(body)
+        aux_kind = 0
+        aux_values = [a for a in event.aux if isinstance(a, int)]
+        naux = len(aux_values)
+    fds = event.fd_numbers
+    packer = _body_packer(len(int_args), aux_kind, naux, len(fds))
+    body = packer.pack(
+        _ETYPE_CODES[event.etype], event.nr, event.clock,
+        event.tindex, event.retval,
+        len(int_args), *int_args,
+        aux_kind, naux, *aux_values,
+        len(fds), *fds,
+        len(payload))
+    return _HEADER.pack(MAGIC, len(body) + len(payload)) + body + payload
 
 
 def decode_records(data: bytes) -> Iterator[Tuple[Event, bytes]]:
@@ -82,12 +94,13 @@ def decode_records(data: bytes) -> Iterator[Tuple[Event, bytes]]:
         offset += length
 
 
+_FIXED = struct.Struct("<BiqHq")
+
+
 def _decode_body(body: bytes) -> Tuple[Event, bytes]:
     view = memoryview(body)
-    etype_code, nr, clock = struct.unpack_from("<Biq", view, 0)
-    offset = struct.calcsize("<Biq")
-    tindex, retval = struct.unpack_from("<Hq", view, offset)
-    offset += struct.calcsize("<Hq")
+    etype_code, nr, clock, tindex, retval = _FIXED.unpack_from(view, 0)
+    offset = _FIXED.size
 
     def take_i64_list():
         nonlocal offset

@@ -42,6 +42,41 @@ class TestEventLayout:
     def test_default_ring_capacity_is_paper_value(self):
         assert DEFAULT_CAPACITY == 256
 
+    def test_packed_slot_is_one_cache_line(self):
+        from repro.core.events import EVENT_SIZE, pack_event
+        event = syscall_event("write", 1, 9, 512, args=(1, 2, 3, 4, 5, 6))
+        assert len(pack_event(event)) == EVENT_SIZE
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.core.events import pack_event, unpack_event
+        event = syscall_event("read", 2, 41, -9, args=(3, 512))
+        back = unpack_event(pack_event(event))
+        assert back.etype == event.etype
+        assert back.nr == event.nr and back.name == "read"
+        assert back.tindex == 2 and back.clock == 41
+        assert back.retval == -9
+        # args travel as raw u64 slots
+        assert back.args == (3, 512)
+
+    def test_seal_packs_by_value_fields(self):
+        from repro.core.events import pack_event
+        from repro.core.ringbuffer import event_seal
+        event = syscall_event("close", 0, 7, 0, args=(4,))
+        seal = event_seal(event)
+        assert seal[0] == pack_event(event)
+        event.retval ^= 0x5A5A  # the injector's slot-corruption flip
+        assert event_seal(event) != seal
+
+    def test_seal_falls_back_for_non_slot_args(self):
+        # Simulation-level events may carry string args (paths); those
+        # cannot ride the fixed slot layout and seal as a field tuple.
+        from repro.core.ringbuffer import event_seal
+        event = syscall_event("open", 0, 3, 4, args=("/tmp/f", 0))
+        seal = event_seal(event)
+        assert isinstance(seal[0], tuple) and "/tmp/f" in seal[0][-1]
+        event.retval = 5
+        assert event_seal(event) != seal
+
 
 class TestRingBuffer:
     def test_publish_then_consume(self):

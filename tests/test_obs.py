@@ -139,9 +139,16 @@ class TestMetrics:
         # translation-cache keys appear (and this point ran no guest
         # code after start_collection, so they are deltas over nothing).
         assert all(name.startswith("tcache.") for name in snap["counters"])
-        assert set(snap["counters"]) == {
-            "tcache.hits", "tcache.misses", "tcache.invalidations",
-            "tcache.blocks_translated", "tcache.insns_translated"}
+        from repro.isa.translator import CacheStats
+        assert set(snap["counters"]) == set(CacheStats().as_dict())
+        # The chaining/fusion counters and the superblock length
+        # histogram ride along as always-present keys.
+        assert "tcache.chain_follows" in snap["counters"]
+        assert "tcache.chains_linked" in snap["counters"]
+        assert "tcache.chains_broken" in snap["counters"]
+        assert "tcache.dispatch_blocks" in snap["counters"]
+        assert "tcache.fused_blocks" in snap["counters"]
+        assert "tcache.sb_len_p2_0" in snap["counters"]
         assert snap["gauges"] == {}
         assert snap["histograms"] == {}
 

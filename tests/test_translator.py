@@ -67,24 +67,29 @@ def drive(cpu, max_insns=100_000, batch_cycles=20_000):
 
 def assert_equivalent(source, max_insns=100_000, batch_cycles=20_000,
                       text_perms="rx"):
-    """Run ``source`` under cached and per-step decode; the observable
-    outcome must be identical."""
-    cached = build_cpu(source, translate=True, text_perms=text_perms)
+    """Run ``source`` under cached (superblocks + chaining), cached with
+    fusion forced from the first execution, and per-step decode; the
+    observable outcome must be identical in all three."""
     interp = build_cpu(source, translate=False, text_perms=text_perms)
-    c_ret, c_exc, c_ps = drive(cached, max_insns, batch_cycles)
     i_ret, i_exc, i_ps = drive(interp, max_insns, batch_cycles)
-    assert c_exc == i_exc
-    assert c_ret == i_ret
-    assert cached.regs == interp.regs
-    assert cached.zf == interp.zf
-    assert cached.rip == interp.rip
-    assert cached.halted == interp.halted
-    assert cached.cycles == interp.cycles
-    if c_exc is None:
-        # Every retired cycle was flushed in both modes, so the sim-time
-        # Compute totals agree exactly (only the chunking differs).
-        assert c_ps == i_ps == cached.cycles * CYCLE_PS
-        assert cached.insns_retired == interp.insns_retired
+    cached = build_cpu(source, translate=True, text_perms=text_perms)
+    fused = build_cpu(source, translate=True, text_perms=text_perms)
+    fused.tcache.fuse_threshold = 1  # every block compiles before run 1
+    for cpu in (cached, fused):
+        c_ret, c_exc, c_ps = drive(cpu, max_insns, batch_cycles)
+        assert c_exc == i_exc
+        assert c_ret == i_ret
+        assert cpu.regs == interp.regs
+        assert cpu.zf == interp.zf
+        assert cpu.rip == interp.rip
+        assert cpu.halted == interp.halted
+        assert cpu.cycles == interp.cycles
+        if c_exc is None:
+            # Every retired cycle was flushed in both modes, so the
+            # sim-time Compute totals agree exactly (only the chunking
+            # differs).
+            assert c_ps == i_ps == cpu.cycles * CYCLE_PS
+            assert cpu.insns_retired == interp.insns_retired
     return cached, interp
 
 
@@ -99,12 +104,20 @@ class TestCounters:
         """)
         cpu.run_sync()
         stats = cpu.tcache.stats
-        # One block per entry point, re-entered per iteration.
+        # One block per entry point; re-entries now arrive through the
+        # direct-threaded chain (the loop backedge links on its second
+        # trip), so lookup hits plus chain follows cover the iterations.
         assert stats.misses >= 1
-        assert stats.hits >= 48
+        assert stats.hits + stats.chain_follows >= 48
+        assert stats.chains_linked >= 1
+        assert stats.chain_follows >= 40
         assert stats.invalidations == 0
         assert stats.blocks_translated == stats.misses
         assert stats.insns_translated >= 2
+        # The loop went hot and fused.
+        assert stats.fused_blocks >= 1
+        # Superblock lengths are histogrammed at translate time.
+        assert sum(stats.sb_len_buckets) == stats.blocks_translated
 
     def test_global_stats_accumulate(self):
         before = GLOBAL_STATS.hits + GLOBAL_STATS.misses
@@ -124,12 +137,24 @@ class TestCounters:
         cpu.run_sync()
         snap = obs_metrics.drain()
         assert snap["counters"]["tcache.misses"] >= 1
-        assert snap["counters"]["tcache.hits"] >= 8
-        # Deltas, not process totals: a fresh window starts near zero.
+        assert (snap["counters"]["tcache.hits"]
+                + snap["counters"]["tcache.chain_follows"]) >= 8
+        assert snap["counters"]["tcache.chains_linked"] >= 1
+        assert snap["counters"]["tcache.dispatch_blocks"] >= 1
+        # The superblock length histogram rides along as fixed buckets.
+        assert sum(snap["counters"][f"tcache.sb_len_p2_{k}"]
+                   for k in range(9)) >= 1
+        # Deltas, not process totals: a fresh window starts near zero,
+        # and every tcache key is always present.
         obs_metrics.start_collection()
         empty = obs_metrics.drain()
         assert empty["counters"]["tcache.hits"] == 0
         assert empty["counters"]["tcache.misses"] == 0
+        assert empty["counters"]["tcache.chain_follows"] == 0
+        assert empty["counters"]["tcache.chains_broken"] == 0
+        assert empty["counters"]["tcache.fused_blocks"] == 0
+        for k in range(9):
+            assert empty["counters"][f"tcache.sb_len_p2_{k}"] == 0
 
 
 class TestInvalidation:
@@ -204,6 +229,50 @@ class TestInvalidation:
         cpu.space.mprotect(cpu.space.find(TEXT), "r")
         with pytest.raises(ExecutionFault, match="not executable"):
             cpu.run_sync()
+
+    LOOP = """
+        movi rbx, {count}
+    loop:
+        subi rbx, 1
+        jnz loop
+        hlt
+    """
+
+    def test_patch_code_unlinks_chains(self):
+        # A rewriter patch bumps Segment.version; eviction must strip
+        # every chain link into and out of the stale blocks, or the
+        # patched code would never be reached from a chained loop.
+        cpu = build_cpu(self.LOOP.format(count=30))
+        cpu.run_sync()
+        stats = cpu.tcache.stats
+        assert stats.chains_linked >= 1
+        assert stats.chains_broken == 0
+        patched = assemble("movi rax, 77\nhlt", origin=TEXT)
+        cpu.space.patch_code(TEXT, patched)
+        cpu.rip = TEXT
+        cpu.halted = False
+        assert cpu.run_sync() == 77
+        assert stats.chains_broken >= 1
+
+    def test_remap_mid_run_breaks_then_relinks_chains(self):
+        # A mapping change between block executions (here: between
+        # Compute batches, as a yielding sim process would see) must be
+        # caught by the chain-follow generation check, flush the cache,
+        # and let the loop re-translate and re-link.
+        cpu = build_cpu(self.LOOP.format(count=200))
+        gen = cpu.run(max_insns=100_000, batch_cycles=1)
+        for _ in range(5):
+            next(gen)
+        cpu.space.map(Segment(0x9000, bytes(16), perms="rw", name="late"))
+        try:
+            while True:
+                next(gen)
+        except StopIteration:
+            pass
+        stats = cpu.tcache.stats
+        assert cpu.halted and cpu.regs[1] == 0
+        assert stats.chains_broken >= 1  # flush counted the stale links
+        assert stats.chains_linked >= 2  # ...and the loop re-linked
 
 
 class TestMaxInsnParity:
@@ -330,5 +399,26 @@ class TestDifferential:
            max_insns=st.sampled_from([37, 500, 4000]),
            batch=st.sampled_from([13, 20_000]))
     def test_cached_equals_per_step(self, source, max_insns, batch):
+        # Covers superblock formation, chained exits and (via the forced
+        # fuse_threshold=1 executor inside assert_equivalent) the fused
+        # compiled bodies, against the per-step oracle.
         assert_equivalent(source, max_insns=max_insns, batch_cycles=batch,
                           text_perms="rwx")
+
+    @settings(max_examples=40, deadline=None)
+    @given(source=_programs(), max_insns=st.sampled_from([37, 4000]))
+    def test_block_mode_equals_per_step(self, source, max_insns):
+        # translate="blocks" is the CI speedup baseline (PR 3 basic-block
+        # behavior): it must stay observably exact too.
+        blocks = build_cpu(source, translate="blocks", text_perms="rwx")
+        interp = build_cpu(source, translate=False, text_perms="rwx")
+        b_ret, b_exc, b_ps = drive(blocks, max_insns)
+        i_ret, i_exc, i_ps = drive(interp, max_insns)
+        assert (b_ret, b_exc) == (i_ret, i_exc)
+        assert blocks.regs == interp.regs
+        assert blocks.rip == interp.rip
+        assert blocks.cycles == interp.cycles
+        if b_exc is None:
+            assert b_ps == i_ps == blocks.cycles * CYCLE_PS
+        assert blocks.tcache.stats.chains_linked == 0
+        assert blocks.tcache.stats.fused_blocks == 0
