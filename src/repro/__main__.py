@@ -9,7 +9,9 @@ Usage::
     python -m repro sweep --jobs 4 --scale 0.008 --check-reference
     python -m repro sweep --jobs 4 --metrics
     python -m repro trace figure4 --out trace.json
+    python -m repro trace distributed --placement remote --out trace.json
     python -m repro chaos --seed 7 --plans 20
+    python -m repro chaos --seed 7 --plans 20 --placement remote
 """
 
 from __future__ import annotations
@@ -52,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--plans", type=int, default=20,
                         help="(chaos) number of (workload, fault plan) "
                              "pairs to run")
+    parser.add_argument("--placement", choices=("local", "remote"),
+                        default=None,
+                        help="(chaos/trace) follower placement: 'local' "
+                             "(shared-memory ring, default) or 'remote' "
+                             "(networked transport to replica machines)")
     return parser
 
 
@@ -100,7 +107,8 @@ def run_chaos_command(args) -> int:
     """
     from repro.faults.chaos import run_chaos
 
-    journal, failures = run_chaos(args.seed, args.plans)
+    journal, failures = run_chaos(args.seed, args.plans,
+                                  placement=args.placement or "local")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(journal)
@@ -138,7 +146,11 @@ def run_trace_command(args) -> int:
     if args.jsonl:
         sinks.append(obs.JsonlSink(args.jsonl))
     tracer = obs.Tracer(sinks=sinks)
-    config = ExperimentConfig(scale=args.scale)
+    # --placement is only forwarded when given explicitly: drivers that
+    # take no placement keyword reject the option by name.
+    options = (() if args.placement is None
+               else (("placement", args.placement),))
+    config = ExperimentConfig(scale=args.scale, options=options)
     with obs.tracing(tracer):
         run_experiment(args.target, config=config)
     records = tracer.records

@@ -37,6 +37,18 @@ class SessionConfig:
     """
 
     machine: Optional[object] = None
+    #: Variant placement: maps variant index or version name to a
+    #: machine (a Machine or its name in the world).  Variants absent
+    #: from the map run on ``machine`` (default: the world's server).
+    #: A placement naming a second machine makes the session
+    #: *distributed*: its event stream defaults to the networked
+    #: transport and whole-machine faults become survivable.
+    placement: Optional[dict] = None
+    #: Event-transport factory (``repro.core.transport``): None selects
+    #: the shared-memory ring, or — when ``placement`` names a remote
+    #: machine — ``repro.core.netring.net_transport()``.  Pass an
+    #: explicit factory to tune coalescing/replication/compression.
+    transport: Optional[object] = None
     rules: Optional[object] = None
     ring_capacity: int = _DEFAULT_RING_CAPACITY
     leader_index: int = 0

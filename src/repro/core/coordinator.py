@@ -18,8 +18,12 @@ from repro.core.config import SessionConfig, resolve_session_config
 from repro.core.datachannel import DataChannel
 from repro.core.events import EV_EXIT
 from repro.core.monitor import PROMOTED, ReplicaMonitor, RingTuple
-from repro.core.ringbuffer import RingBuffer
 from repro.core.shm import SharedMemoryPool
+from repro.core.transport import (
+    TransportContext,
+    resolve_placement,
+    resolve_transport,
+)
 from repro.core.tables import install_tables
 from repro.costmodel import cycles
 from repro.errors import FailoverError, NvxError
@@ -75,6 +79,10 @@ class SessionStats:
     divergences_allowed: int = 0
     divergences_skipped: int = 0
     events_skipped: int = 0
+    #: Descriptors whose transfer died with the leader's machine and
+    #: that no surviving replica could rescue, recovered by natively
+    #: re-executing the originating call on the replica's own state.
+    fds_regenerated: int = 0
     promotions: int = 0
     crashes: List = field(default_factory=list)
     fatal_divergences: List = field(default_factory=list)
@@ -125,9 +133,21 @@ class NvxSession:
         if cfg.fault_plan is not None:
             from repro.faults.injector import FaultInjector
             self.injector = FaultInjector(self, cfg.fault_plan)
-        self.variants = [Variant(i, spec, self.machine)
+        #: Per-variant machine from the placement map; variants not
+        #: named stay on the session machine (the single-host default).
+        machines = resolve_placement(cfg.placement, specs, world,
+                                     self.machine)
+        self.variants = [Variant(i, spec, machines[i])
                          for i, spec in enumerate(specs)]
         self.variants[cfg.leader_index].is_leader = True
+        #: Machines declared dead by whole-machine fault injection;
+        #: leader election avoids them.
+        self.dead_machines: set = set()
+        leader_machine = machines[cfg.leader_index]
+        has_remote = any(m is not leader_machine for m in machines)
+        #: Event-transport factory: local shared-memory ring unless the
+        #: placement is distributed or an explicit factory was given.
+        self.transport = resolve_transport(cfg.transport, has_remote)
         self.tuples: List[RingTuple] = []
         self._next_tuple_id = 0
         self.control = WaitQueue(world.sim, name="varan.control")
@@ -213,7 +233,7 @@ class NvxSession:
         root = self.new_tuple()
         for variant in self.variants:
             task = self.world.kernel.spawn_task(
-                self.machine, self._wrap_main(variant),
+                variant.machine, self._wrap_main(variant),
                 name=variant.name, daemon=self.daemon)
             variant.tasks.append(task)
             self._bind(variant, task, root)
@@ -281,10 +301,17 @@ class NvxSession:
         Follower cursors are pre-registered so no event published before
         the followers attach can be missed.
         """
-        ring = RingBuffer(self.world.sim, self.costs,
-                          capacity=self.ring_capacity,
-                          name=f"ring{self._next_tuple_id}",
-                          tracer=self.tracer)
+        leader = self.leader
+        leader_machine = (leader.machine if leader is not None
+                          else self.machine)
+        ctx = TransportContext(
+            sim=self.world.sim, costs=self.costs,
+            capacity=self.ring_capacity,
+            name=f"ring{self._next_tuple_id}", tracer=self.tracer,
+            network=getattr(self.world, "network", None),
+            producer_machine=leader_machine,
+            consumer_machines={v.vid: v.machine for v in self.variants})
+        ring = self.transport(ctx)
         ring.sample_distances = self.sample_distances
         # Session rings always run with slot integrity checks so injected
         # corruption surfaces diagnostically; the conformance oracle (if
@@ -294,7 +321,11 @@ class NvxSession:
         channels = {}
         for variant in self.followers:
             ring.add_consumer(variant.vid)
-            channels[variant.vid] = DataChannel(self.world.sim, self.costs)
+            channels[variant.vid] = DataChannel(
+                self.world.sim, self.costs,
+                network=getattr(self.world, "network", None),
+                producer_machine=leader_machine,
+                consumer_machine=variant.machine)
         tuple_ = RingTuple(self._next_tuple_id, ring, channels)
         self._next_tuple_id += 1
         self.tuples.append(tuple_)
@@ -326,7 +357,7 @@ class NvxSession:
             self.stats.crashes.append((variant.name, str(fault), now))
             tracer = self.tracer
             if tracer is not None:
-                tracer.instant(now, self.machine.name, task.name,
+                tracer.instant(now, variant.machine.name, task.name,
                                "failover", "crash",
                                (("variant", variant.name),
                                 ("fault", str(fault)),
@@ -395,7 +426,13 @@ class NvxSession:
         candidates = self.followers
         if not candidates:
             raise FailoverError("leader crashed with no followers left")
-        new_leader = min(candidates, key=lambda v: v.vid)
+        # Whole-machine loss: prefer a follower on a machine not marked
+        # dead — electing a co-located victim would only cascade another
+        # promotion.  If every survivor sits on a dead machine the crash
+        # notifications will arrive anyway; keep the smallest-id rule.
+        live = [v for v in candidates
+                if v.machine.name not in self.dead_machines]
+        new_leader = min(live or candidates, key=lambda v: v.vid)
         new_leader.is_leader = True
         self.stats.promotions += 1
         now = self.world.sim.now
@@ -421,7 +458,12 @@ class NvxSession:
             # boundary, then wake receivers parked on a dead leader so
             # they rescue lost descriptors from a mirror.
             tuple_.regime_boundary = tuple_.ring.head
+            # Distributed transports re-anchor at the new leader's
+            # machine (reveal the backlog, restart flow control); the
+            # local ring's hook is a no-op.
+            tuple_.ring.on_promote(new_leader.vid, new_leader.machine)
             for follower_channel in tuple_.channels.values():
+                follower_channel.rebind_producer(new_leader.machine)
                 follower_channel.notify_failover()
             # Wake every parked replica so it notices the new regime.
             tuple_.ring.wake_all()
@@ -469,6 +511,9 @@ class NvxSession:
             for vid, replica in tuple_.replicas.items():
                 role = "leader" if replica.is_leader else "follower"
                 reg.observe(f"{role}.wait_ns", replica.wait_ps // 1000)
+        # net.frames/bytes/acks… are process-global deltas owned by
+        # obs.metrics.drain(), mirroring tcache.*; per-ring counters are
+        # available directly via ring.extra_metrics()/ring.net.
         return reg.snapshot()
 
     def await_promotion_complete(self, task):

@@ -39,20 +39,56 @@ class _Tagged:
         return self.description.decref()
 
 
-class DataChannel:
-    """One leader↔follower descriptor-passing channel."""
+#: Wire size of one cross-machine descriptor-capability message.
+FD_MSG_BYTES = 64
 
-    def __init__(self, sim: Simulator, costs: CostModel) -> None:
+
+class DataChannel:
+    """One leader↔follower descriptor-passing channel.
+
+    Same-machine channels are the paper's UNIX-domain socket pair.
+    When leader and follower sit on *different* machines the duplicated
+    description travels as a capability message over the network,
+    paying its latency/bandwidth cost and arriving in order (per-channel
+    stream floor) — the transport-agnostic surface the sessions speak
+    to does not change.
+    """
+
+    def __init__(self, sim: Simulator, costs: CostModel, network=None,
+                 producer_machine=None, consumer_machine=None) -> None:
         self.sim = sim
         self.costs = costs
         self.leader_end, self.follower_end = PipeEnd.make_socketpair(sim)
         self.fds_sent = 0
+        self.network = network
+        self.producer_machine = producer_machine
+        self.consumer_machine = consumer_machine
+        self._floor = 0
+
+    def _cross_machine(self) -> bool:
+        return (self.network is not None
+                and self.producer_machine is not None
+                and self.consumer_machine is not None
+                and self.producer_machine is not self.consumer_machine)
 
     def send_fd(self, description, clock=None):
         """Generator (leader side): duplicate one description across."""
         yield Compute(cycles(self.costs.stream.fd_send))
-        self.leader_end.push_fd(_Tagged(clock, description))
+        item = _Tagged(clock, description)
+        if self._cross_machine():
+            self._floor = self.network.deliver(
+                self.producer_machine, self.consumer_machine,
+                FD_MSG_BYTES,
+                lambda item=item: self.leader_end.push_fd(item),
+                floor_ps=self._floor)
+        else:
+            self.leader_end.push_fd(item)
         self.fds_sent += 1
+
+    def rebind_producer(self, machine) -> None:
+        """Failover: the sending side moved to the new leader's machine."""
+        self.producer_machine = machine
+        self._floor = 0
 
     def notify_failover(self) -> None:
         """Coordinator side: wake receivers parked on a dead leader.

@@ -20,7 +20,7 @@ from repro.core.events import (
     Event,
     syscall_event,
 )
-from repro.core.ringbuffer import RingBuffer
+from repro.core.transport import EventTransport
 from repro.errors import DivergenceError, NvxError
 from repro.kernel.uapi import SYSCALL_NUMBERS, Syscall, SysResult
 from repro.sim.core import Compute
@@ -41,9 +41,14 @@ BLOCKING_CALLS = frozenset({
 
 
 class RingTuple:
-    """The ring buffer + channels of one process tuple (§3.3.3)."""
+    """The event transport + channels of one process tuple (§3.3.3).
 
-    def __init__(self, tuple_id: int, ring: RingBuffer,
+    ``ring`` is any :class:`~repro.core.transport.EventTransport` —
+    the shared-memory ring on a single host, the networked ring when
+    followers are placed on remote machines.
+    """
+
+    def __init__(self, tuple_id: int, ring: EventTransport,
                  channels: Dict[int, DataChannel]) -> None:
         self.id = tuple_id
         self.ring = ring
@@ -85,7 +90,7 @@ class ReplicaMonitor:
         return self.variant.vid
 
     @property
-    def ring(self) -> RingBuffer:
+    def ring(self) -> EventTransport:
         return self.tuple.ring
 
     @property
@@ -262,7 +267,7 @@ class ReplicaMonitor:
         yield from self.consume(event)
         self.session.stats.events_skipped += 1
 
-    def receive_fds(self, event: Event):
+    def receive_fds(self, event: Event, call: Optional[Syscall] = None):
         """Generator: collect the event's descriptors and install them at
         the leader's fd numbers, so follower tables mirror the leader.
 
@@ -295,6 +300,17 @@ class ReplicaMonitor:
                 # holds the identical description (§3.3.2).
                 description = self._rescue_fd(event, fd_number)
                 if description is None:
+                    # Sole-survivor failover: no surviving replica
+                    # reached the event, so the descriptor state exists
+                    # nowhere except implicitly in this variant's own
+                    # environment replica.  Re-execute the originating
+                    # call natively and take its descriptors for the
+                    # remaining slots.
+                    if call is not None:
+                        regenerated = yield from self._regenerate_fds(
+                            call, event, event.fd_numbers[len(installed):])
+                        installed.extend(regenerated)
+                        return tuple(installed)
                     raise NvxError(
                         f"{self.variant.name}: descriptor for {event.name} "
                         f"fd {fd_number} lost in failover")
@@ -302,6 +318,42 @@ class ReplicaMonitor:
             self.task.fdtable.install(description, at=fd_number)
             installed.append(fd_number)
         return tuple(installed)
+
+    def _regenerate_fds(self, call: Syscall, event: Event, missing):
+        """Generator: last-resort descriptor recovery (cross-machine
+        failover with no rescue mirror).
+
+        Runs the call natively against this replica's own machine state
+        — every variant runs the full program, so the call is its own —
+        and moves the fresh descriptors to the leader's fd numbers so
+        the mirrored-table contract holds for later events.  Raises the
+        lost-descriptor error when the native run cannot supply them
+        (e.g. the call's environment was not replicated here).
+        """
+        kernel = self.session.world.kernel
+        result = yield from kernel.native(self.task, call)
+        fresh = list(result.new_fds or ())
+        if result.retval < 0 or len(fresh) < len(event.fd_numbers):
+            raise NvxError(
+                f"{self.variant.name}: descriptor for {event.name} fd "
+                f"{missing[0]} lost in failover and native re-execution "
+                f"returned {result.retval}")
+        table = self.task.fdtable
+        filled = []
+        for got, want in zip(fresh, event.fd_numbers):
+            if want not in missing:
+                # This slot was already filled from the channel or a
+                # mirror before the loss was detected; drop the dup.
+                table.close(got)
+                continue
+            if got != want:
+                description = table.get(got)
+                description.incref()
+                table.install(description, at=want)
+                table.close(got)
+            filled.append(want)
+        self.session.stats.fds_regenerated += len(filled)
+        return tuple(filled)
 
     def _rescue_fd(self, event: Event, fd_number: int):
         """Find the event's descriptor in another replica's fd table.

@@ -24,6 +24,7 @@ from repro.sim.core import TIMEOUT, Compute, Simulator
 from repro.sim.sync import WaitQueue
 
 from repro.core.events import Event, pack_event
+from repro.core.transport import EventTransport
 
 #: Paper default: 256 events of 64 bytes.
 DEFAULT_CAPACITY = 256
@@ -109,8 +110,15 @@ class RingStats:
         return ordered[(len(ordered) - 1) // 2]
 
 
-class RingBuffer:
-    """One ring per process tuple (§3.3.3)."""
+class RingBuffer(EventTransport):
+    """One ring per process tuple (§3.3.3).
+
+    This is the *local* :class:`~repro.core.transport.EventTransport`:
+    leader and followers share one machine's memory, so publishes are
+    visible immediately and the distributed hooks stay the base class's
+    no-ops.  ``repro.core.netring.NetRing`` subclasses this to mirror
+    event lines to remote machines.
+    """
 
     __slots__ = ("sim", "costs", "capacity", "name", "slots", "head",
                  "cursors", "not_full", "published", "advanced", "stats",

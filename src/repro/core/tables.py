@@ -209,7 +209,7 @@ def make_follower_table(monitor: ReplicaMonitor):
             raise StopTask(event.retval)
         data = yield from monitor.consume(event)
         if event.fd_count:
-            yield from monitor.receive_fds(event)
+            yield from monitor.receive_fds(event, call=call)
         if call.name in EXEC_LOCAL_AFTER_CONSUME:
             yield from kernel.execute(task, call)
         return SysResult(event.retval, data=data, aux=event.aux,

@@ -271,6 +271,12 @@ class StreamCosts:
     ring_full_check: int = 40
     #: Running one BPF rewrite-rule filter over a divergence.
     bpf_per_insn: int = 4
+    #: Networked transport: appending one packed 64-byte event line to
+    #: the outgoing frame (leader side, per event with remote followers).
+    net_pack_event: int = 90
+    #: Networked transport: per-byte cost of compressing a frame body
+    #: before transmission (LZ4-class, leader side).
+    net_compress_per_byte: float = 0.35
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 from repro.experiments.expconfig import ExperimentConfig, apply_config
 from repro.experiments import (
     ablations,
+    distributed,
     failover,
     figure4,
     figure5,
@@ -53,6 +54,7 @@ MODULES = {
     "sanitization-5.3": sanitization,
     "recordreplay-5.4": recordreplay_exp,
     "ablations": ablations,
+    "distributed": distributed,
 }
 
 #: experiment id → driver callable (kept as the stable public surface).

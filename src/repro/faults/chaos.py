@@ -47,6 +47,25 @@ DATA_SIZE = 4096
 #: pending-slot windows actually occur.
 RING_CAPACITY = 16
 
+#: Machines hosting remote followers under ``placement="remote"``; the
+#: leader stays on the server and followers round-robin across these.
+REMOTE_MACHINES = ("replica1", "replica2")
+
+
+def _remote_placement(n_variants: int) -> Dict[int, str]:
+    """Variant index → machine name for a remote chaos session."""
+    return {index: REMOTE_MACHINES[(index - 1) % len(REMOTE_MACHINES)]
+            for index in range(1, n_variants)}
+
+
+def _placement_names(n_variants: int, placement: str) -> Tuple[str, ...]:
+    """The machine hosting each variant, in variant order."""
+    if placement != "remote":
+        return ("server",) * n_variants
+    mapping = _remote_placement(n_variants)
+    return tuple(mapping.get(index, "server")
+                 for index in range(n_variants))
+
 
 def _digest(parts) -> str:
     """Order-stable digest of a list of bytes/ints/strings."""
@@ -211,15 +230,26 @@ WORKLOADS: Tuple[Callable, ...] = (
 # -- one plan = baseline run + faulted run ------------------------------------
 
 def _run_workload(build, data: bytes, n_variants: int, plan,
-                  checker: InvariantChecker):
+                  checker: InvariantChecker, placement: str = "local"):
     """One session run; returns (session, world, outputs, deadlock)."""
-    world = World()
-    world.kernel.fs(world.server).create(DATA_PATH, data)
+    if placement == "remote":
+        world = World(machine_names=("server", "client") + REMOTE_MACHINES)
+        placement_map = _remote_placement(n_variants)
+        # Each machine hosting a variant needs its own copy of the data
+        # file: a promoted remote leader re-executes reads natively
+        # against its local filesystem.
+        for name in {"server", *placement_map.values()}:
+            world.kernel.fs(world.machine(name)).create(DATA_PATH, data)
+    else:
+        world = World()
+        placement_map = None
+        world.kernel.fs(world.server).create(DATA_PATH, data)
     outputs: Dict = {}
     main = build(outputs)
     specs = [VersionSpec(f"v{i}", main) for i in range(n_variants)]
     config = SessionConfig(fault_plan=plan, invariants=checker,
-                           ring_capacity=RING_CAPACITY)
+                           ring_capacity=RING_CAPACITY,
+                           placement=placement_map)
     session = NvxSession(world, specs, config=config).start()
     deadlock = None
     try:
@@ -230,7 +260,8 @@ def _run_workload(build, data: bytes, n_variants: int, plan,
     return session, world, outputs, deadlock
 
 
-def run_plan(seed: int, index: int) -> Tuple[List[str], int, int]:
+def run_plan(seed: int, index: int, placement: str = "local"
+             ) -> Tuple[List[str], int, int]:
     """Run chaos plan ``index`` of ``seed``.
 
     Returns ``(journal_lines, output_mismatches, invariant_violations)``.
@@ -241,14 +272,15 @@ def run_plan(seed: int, index: int) -> Tuple[List[str], int, int]:
     data = bytes(rng.randrange(256) for _ in range(DATA_SIZE))
     name, build = WORKLOADS[rng.randrange(len(WORKLOADS))](rng)
 
+    where = "" if placement == "local" else f" placement={placement}"
     lines = [f"plan {index}: workload={name} variants={n_variants} "
-             f"data={_digest([data])}"]
+             f"data={_digest([data])}{where}"]
     mismatches = 0
 
     # Baseline: expected outputs + the horizon faults are drawn from.
     base_checker = InvariantChecker(roundtrip_every=1)
     base_session, base_world, base_outputs, base_dead = _run_workload(
-        build, data, n_variants, None, base_checker)
+        build, data, n_variants, None, base_checker, placement)
     horizon = base_world.sim.now
     lines.append(f"  baseline: horizon={horizon}ps "
                  f"outputs={len(base_outputs)} ({base_checker.summary()})")
@@ -269,12 +301,18 @@ def run_plan(seed: int, index: int) -> Tuple[List[str], int, int]:
                              f"{expected}")
                 mismatches += 1
 
-    # Faulted run of the identical workload.
-    plan = FaultPlan.random(rng, n_variants, max(2, horizon))
+    # Faulted run of the identical workload.  Remote sessions draw from
+    # the distributed family (whole-machine crashes, partitions).
+    if placement == "remote":
+        plan = FaultPlan.random_distributed(
+            rng, n_variants, max(2, horizon),
+            _placement_names(n_variants, placement))
+    else:
+        plan = FaultPlan.random(rng, n_variants, max(2, horizon))
     lines.append(f"  plan: {plan.describe()}")
     fault_checker = InvariantChecker(roundtrip_every=1)
     session, _world, outputs, dead = _run_workload(
-        build, data, n_variants, plan, fault_checker)
+        build, data, n_variants, plan, fault_checker, placement)
     for entry in session.injector.log:
         lines.append(f"  inject: {entry}")
     if dead is not None:
@@ -310,17 +348,22 @@ def run_plan(seed: int, index: int) -> Tuple[List[str], int, int]:
     return lines, mismatches, violations
 
 
-def run_chaos(seed: int, plans: int) -> Tuple[str, int]:
+def run_chaos(seed: int, plans: int, placement: str = "local"
+              ) -> Tuple[str, int]:
     """Run ``plans`` chaos plans; returns ``(journal_text, failures)``.
 
     The journal is byte-identical across runs of the same arguments;
     ``failures`` counts output mismatches plus invariant violations.
+    ``placement="remote"`` runs every session with followers on remote
+    machines over the networked transport, under distributed plans.
     """
-    lines = [f"# chaos seed={seed} plans={plans}"]
+    where = "" if placement == "local" else f" placement={placement}"
+    lines = [f"# chaos seed={seed} plans={plans}{where}"]
     total_mismatches = 0
     total_violations = 0
     for index in range(plans):
-        plan_lines, mismatches, violations = run_plan(seed, index)
+        plan_lines, mismatches, violations = run_plan(seed, index,
+                                                      placement)
         lines.extend(plan_lines)
         total_mismatches += mismatches
         total_violations += violations

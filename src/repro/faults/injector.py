@@ -40,6 +40,7 @@ from repro.faults.plan import (
     BITFLIP,
     CORRUPT_SLOT,
     CRASH,
+    MACHINE_CRASH,
     NETWORK_KINDS,
     PARTITION,
     STALL,
@@ -182,6 +183,8 @@ class FaultInjector:
             self._poison_slot(fault)
         elif fault.kind == BITFLIP:
             self._bitflip(fault)
+        elif fault.kind == MACHINE_CRASH:
+            self._machine_crash(fault)
 
     def _target(self, fault: Fault):
         """Resolve the victim variant; None when it no longer exists."""
@@ -208,6 +211,35 @@ class FaultInjector:
                         f"injected crash of {variant.name}"))
                     return
         self._note(fault, "skipped: no live thread")
+
+    def _machine_crash(self, fault: Fault) -> None:
+        """Whole-machine loss: mark the machine dead for leader
+        election, then kill every variant hosted on it at once."""
+        victims = [v for v in self.session.variants
+                   if v.alive and v.machine.name == fault.machine]
+        if not victims:
+            self._note(fault, "skipped: no live variant on machine")
+            return
+        dead = getattr(self.session, "dead_machines", None)
+        if dead is not None:
+            dead.add(fault.machine)
+        killed = []
+        for variant in victims:
+            for task in variant.tasks:
+                if task.exited:
+                    continue
+                for thread in task.threads:
+                    if not thread.done:
+                        thread.interrupt(Segfault(
+                            f"machine {fault.machine} crashed under "
+                            f"{variant.name}"))
+                        killed.append(variant.name)
+                        break
+                else:
+                    continue
+                break
+        self._note(fault, f"fired: killed {' '.join(killed)}"
+                   if killed else "skipped: no live thread")
 
     def _poison_slot(self, fault: Fault) -> None:
         tuples = self.session.tuples

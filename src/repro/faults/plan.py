@@ -36,6 +36,10 @@ PARTITION = "partition"
 PACKET_LOSS = "packet_loss"
 #: Flip one bit of guest (VX86) memory in the target variant's image.
 BITFLIP = "bitflip"
+#: Kill every variant hosted on one machine at once (power loss /
+#: kernel panic).  The machine is also marked dead so leader
+#: re-election never promotes onto it.
+MACHINE_CRASH = "machine_crash"
 
 #: Kinds that target a variant.
 VARIANT_KINDS = frozenset({CRASH, STALL, BITFLIP})
@@ -43,8 +47,10 @@ VARIANT_KINDS = frozenset({CRASH, STALL, BITFLIP})
 RING_KINDS = frozenset({CORRUPT_SLOT, TORN_WRITE})
 #: Kinds that target the network.
 NETWORK_KINDS = frozenset({PARTITION, PACKET_LOSS})
+#: Kinds that target a whole machine.
+MACHINE_KINDS = frozenset({MACHINE_CRASH})
 
-ALL_KINDS = VARIANT_KINDS | RING_KINDS | NETWORK_KINDS
+ALL_KINDS = VARIANT_KINDS | RING_KINDS | NETWORK_KINDS | MACHINE_KINDS
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,8 @@ class Fault:
     #: BITFLIP: guest address and bit number to flip.
     addr: int = 0
     bit: int = 0
+    #: MACHINE_CRASH: name of the machine to kill.
+    machine: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_KINDS:
@@ -84,6 +92,8 @@ class Fault:
             raise NvxError(
                 f"fault {self.kind}: syscall-index triggers only apply "
                 f"to variant-targeted faults")
+        if self.kind in MACHINE_KINDS and not self.machine:
+            raise NvxError(f"fault {self.kind}: machine name required")
 
     def describe(self) -> str:
         """Canonical journal form, stable across processes and runs."""
@@ -101,6 +111,8 @@ class Fault:
             extra = f" window={self.duration_ps}ps"
         elif self.kind == BITFLIP:
             extra = f" addr={self.addr:#x} bit={self.bit}"
+        elif self.kind in MACHINE_KINDS:
+            extra = f" machine={self.machine}"
         return f"{self.kind}[{trigger}{target}{extra}]"
 
 
@@ -169,4 +181,47 @@ class FaultPlan:
                     BITFLIP, variant=rng.randrange(n_variants),
                     at_ps=rng.randint(1, max(2, horizon_ps)),
                     addr=rng.randrange(1 << 16), bit=rng.randrange(8)))
+        return FaultPlan(tuple(faults))
+
+    @staticmethod
+    def random_distributed(rng: Random, n_variants: int, horizon_ps: int,
+                           placement: Tuple[str, ...],
+                           ) -> "FaultPlan":
+        """A distributed-session plan: whole-machine loss plus network
+        trouble, drawn deterministically from ``rng``.
+
+        ``placement`` names the machine hosting each variant (index i →
+        variant i).  At most one machine is crashed, and never one whose
+        loss would leave no surviving variant, so every plan keeps the
+        session winnable.  A partition window and a classic
+        single-variant fault are mixed in with seed-determined odds.
+        """
+        if len(placement) != n_variants:
+            raise NvxError("placement must name one machine per variant")
+        faults = []
+        # Machines whose loss leaves at least one variant standing.
+        crashable = sorted({m for m in placement
+                            if sum(1 for p in placement if p != m) >= 1})
+        if crashable and rng.random() < 0.8:
+            machine = crashable[rng.randrange(len(crashable))]
+            faults.append(Fault(
+                MACHINE_CRASH, machine=machine,
+                at_ps=rng.randint(1, max(2, horizon_ps))))
+            survivors = [v for v in range(n_variants)
+                         if placement[v] != machine]
+        else:
+            survivors = list(range(n_variants))
+        if rng.random() < 0.5:
+            faults.append(Fault(
+                PARTITION, at_ps=rng.randint(1, max(2, horizon_ps)),
+                duration_ps=rng.randint(1, max(2, horizon_ps // 4))))
+        if len(survivors) > 1 and rng.random() < 0.4:
+            # One classic fault against a survivor, keeping one alive.
+            victim = survivors[rng.randrange(len(survivors))]
+            faults.append(Fault(CRASH, variant=victim,
+                                at_syscall=rng.randint(1, 12)))
+        if not faults:
+            faults.append(Fault(
+                PACKET_LOSS, at_ps=rng.randint(1, max(2, horizon_ps)),
+                duration_ps=rng.randint(1, max(2, horizon_ps // 4))))
         return FaultPlan(tuple(faults))

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.config import SessionConfig, resolve_session_config
+from repro.core.transport import resolve_placement
 from repro.costmodel import CostModel, cycles
 from repro.errors import DivergenceError, NvxError
 from repro.kernel.task import VDSO_CALLS
@@ -84,6 +85,16 @@ class LockstepSession:
         self.tracer = (cfg.tracer if cfg.tracer is not None
                        else world.tracer)
         self.specs = specs
+        #: Per-version machine (``placement=`` in the config); versions
+        #: off the monitor's machine pay a network round trip per ptrace
+        #: stop — the classical architecture distributes *terribly*,
+        #: which is part of the point of measuring it.
+        self.placement = resolve_placement(cfg.placement, specs, world,
+                                           self.machine)
+        self._remote_stop_ps = [
+            (2 * world.costs.network.latency_ps
+             if machine is not self.machine else 0)
+            for machine in self.placement]
         self.tasks: List = []
         #: The centralized monitor: a mutex every stop must pass through.
         self.monitor_lock = Mutex(world.sim)
@@ -116,8 +127,8 @@ class LockstepSession:
     def start(self) -> "LockstepSession":
         for index, spec in enumerate(self.specs):
             task = self.world.kernel.spawn_task(
-                self.machine, spec.main, name=f"ls{index}:{spec.name}",
-                daemon=self.daemon)
+                self.placement[index], spec.main,
+                name=f"ls{index}:{spec.name}", daemon=self.daemon)
             self.tasks.append(task)
             gate = task.gate
             gate.intercepting = False  # no rewriting: ptrace pre-dispatch
@@ -149,15 +160,19 @@ class LockstepSession:
 
     # -- the hot path --------------------------------------------------------
 
-    def _ptrace_stop(self, nbytes: int):
+    def _ptrace_stop(self, nbytes: int, remote_ps: int = 0):
         """Generator: one ptrace stop: tracee⇄monitor context switches,
-        register access, and word-by-word copying by the monitor."""
+        register access, and word-by-word copying by the monitor.
+        ``remote_ps`` adds the network round trip when the tracee runs
+        on a different machine than the centralized monitor."""
         self.stats_stops += 1
         stop = self._stop_overhead
         copy = self.costs.ptrace.copy_cost(nbytes) * self._copy_factor
         # The monitor is centralized: its work is serialised.
         yield from self.monitor_lock.acquire()
         try:
+            if remote_ps:
+                yield Compute(remote_ps)
             yield Compute(cycles(stop + copy))
         finally:
             self.monitor_lock.release()
@@ -174,9 +189,11 @@ class LockstepSession:
             raise DivergenceError(self.divergence)
         nbytes = max(call.nbytes, len(call.data))
         self.stats_syscalls += 1
+        remote_ps = self._remote_stop_ps[index]
 
         # Syscall-entry stop: monitor inspects the call.
-        yield from self._ptrace_stop(nbytes if call.data else 0)
+        yield from self._ptrace_stop(nbytes if call.data else 0,
+                                     remote_ps)
 
         # Rendezvous: wait for every version to reach this syscall.
         round_id = self.barrier.generation
@@ -207,7 +224,7 @@ class LockstepSession:
         exit_bytes = 0
         if self.profile.copies_into_followers and index != 0:
             exit_bytes = nbytes
-        yield from self._ptrace_stop(exit_bytes)
+        yield from self._ptrace_stop(exit_bytes, remote_ps)
 
         # Second rendezvous so nobody races ahead with a stale result.
         yield from self.barrier.arrive()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.config import SessionConfig, resolve_session_config
+from repro.core.transport import resolve_placement
 from repro.costmodel import CostModel, cycles
 from repro.errors import NvxError
 from repro.kernel.uapi import Syscall
@@ -33,6 +34,10 @@ class ScribeSession:
         self.tracer = (cfg.tracer if cfg.tracer is not None
                        else world.tracer)
         self.specs = specs
+        #: Per-version machine (``placement=``): Scribe records inside
+        #: each machine's kernel, so distribution adds no stop cost.
+        self.placement = resolve_placement(cfg.placement, specs, world,
+                                           self.machine)
         self.tasks: List = []
         self.events_recorded = 0
         self.bytes_recorded = 0
@@ -42,8 +47,8 @@ class ScribeSession:
     def start(self) -> "ScribeSession":
         for index, spec in enumerate(self.specs):
             task = self.world.kernel.spawn_task(
-                self.machine, spec.main, name=f"scribe{index}:{spec.name}",
-                daemon=self.daemon)
+                self.placement[index], spec.main,
+                name=f"scribe{index}:{spec.name}", daemon=self.daemon)
             self.tasks.append(task)
             self._install(task)
         self.ready = True

@@ -138,6 +138,7 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
 _collecting = False
 _sessions: List = []
 _tcache_base: Dict[str, int] = {}
+_net_base: Dict[str, int] = {}
 
 
 def _tcache_counters() -> Dict[str, int]:
@@ -146,12 +147,19 @@ def _tcache_counters() -> Dict[str, int]:
     return GLOBAL_STATS.as_dict()
 
 
+def _net_counters() -> Dict[str, int]:
+    """Process-wide networked-transport counters (see core.netring)."""
+    from repro.core.netring import GLOBAL_NET_STATS
+    return GLOBAL_NET_STATS.as_dict()
+
+
 def start_collection() -> None:
     """Arm session registration for the sweep point about to run."""
-    global _collecting, _sessions, _tcache_base
+    global _collecting, _sessions, _tcache_base, _net_base
     _collecting = True
     _sessions = []
     _tcache_base = _tcache_counters()
+    _net_base = _net_counters()
 
 
 def register(session) -> None:
@@ -165,11 +173,12 @@ def drain() -> dict:
     """Snapshot every session registered since :func:`start_collection`,
     merge, and disarm.
 
-    Translation-cache counters are process-global, so the snapshot
-    carries the *delta* since :func:`start_collection` — what this
-    point's guest execution did, independent of which worker process ran
-    it.  The keys are always present (zero for points that execute no
-    guest code) so serial and parallel sweeps merge identically.
+    Translation-cache and networked-transport counters are
+    process-global, so the snapshot carries the *delta* since
+    :func:`start_collection` — what this point's execution did,
+    independent of which worker process ran it.  The keys are always
+    present (zero for points that execute no guest code / ship no
+    frames) so serial and parallel sweeps merge identically.
     """
     global _collecting, _sessions
     sessions, _sessions = _sessions, []
@@ -177,6 +186,10 @@ def drain() -> dict:
     base = _tcache_base
     tcache = {"counters": {name: value - base.get(name, 0)
                            for name, value in _tcache_counters().items()}}
+    net_base = _net_base
+    net = {"counters": {name: value - net_base.get(name, 0)
+                        for name, value in _net_counters().items()}}
     snapshots = [s.metrics_snapshot() for s in sessions]
     snapshots.append(tcache)
+    snapshots.append(net)
     return merge_snapshots(snapshots)

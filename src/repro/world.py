@@ -73,24 +73,52 @@ class World:
 
     # -- session facade ----------------------------------------------------
 
-    def nvx(self, specs, config: Optional[SessionConfig] = None, **kwargs):
-        """Build a Varan :class:`NvxSession` over this world."""
+    @staticmethod
+    def _fold(config: Optional[SessionConfig], placement, transport
+              ) -> Optional[SessionConfig]:
+        """Fold the first-class ``placement=``/``transport=`` facade
+        arguments into the config.  These are the *new* API — unlike the
+        legacy per-option keywords they carry no deprecation warning —
+        and explicit fields already set on the config win."""
+        if placement is None and transport is None:
+            return config
+        resolved = config if config is not None else SessionConfig()
+        overrides = {}
+        if placement is not None and resolved.placement is None:
+            overrides["placement"] = placement
+        if transport is not None and resolved.transport is None:
+            overrides["transport"] = transport
+        return resolved.replace(**overrides) if overrides else resolved
+
+    def nvx(self, specs, config: Optional[SessionConfig] = None,
+            placement=None, transport=None, **kwargs):
+        """Build a Varan :class:`NvxSession` over this world.
+
+        ``placement`` maps variant index/name to a machine (name or
+        object); ``transport`` is an event-transport factory
+        (:func:`repro.core.netring.net_transport` for remote followers).
+        Direct ring construction by sessions is gone — transports come
+        from factories now.
+        """
         from repro.core.coordinator import NvxSession
 
+        config = self._fold(config, placement, transport)
         return NvxSession(self, specs, config=config, **kwargs)
 
     def lockstep(self, specs, config: Optional[SessionConfig] = None,
-                 **kwargs):
+                 placement=None, transport=None, **kwargs):
         """Build a centralized lockstep-monitor baseline session."""
         from repro.nvx.lockstep import LockstepSession
 
+        config = self._fold(config, placement, transport)
         return LockstepSession(self, specs, config=config, **kwargs)
 
     def scribe(self, specs, config: Optional[SessionConfig] = None,
-               **kwargs):
+               placement=None, transport=None, **kwargs):
         """Build a Scribe-style record/replay baseline session."""
         from repro.nvx.scribe import ScribeSession
 
+        config = self._fold(config, placement, transport)
         return ScribeSession(self, specs, config=config, **kwargs)
 
     def run(self, **kwargs) -> None:

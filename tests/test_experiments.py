@@ -117,7 +117,7 @@ class TestRegistry:
         expected = {"table1", "figure4", "figure5", "figure6", "table2",
                     "figure7", "figure8", "failover-5.1",
                     "multirevision-5.2", "sanitization-5.3",
-                    "recordreplay-5.4", "ablations"}
+                    "recordreplay-5.4", "ablations", "distributed"}
         assert expected == set(EXPERIMENTS)
 
     def test_unknown_experiment_rejected(self):
