@@ -12,6 +12,8 @@ Usage::
     python -m repro trace distributed --placement remote --out trace.json
     python -m repro chaos --seed 7 --plans 20
     python -m repro chaos --seed 7 --plans 20 --placement remote
+    python -m repro load --clients 1000 --rate 20000
+    python -m repro load --scale 0.02 --engine sharded --out curves.txt
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Varan paper's tables and figures")
     parser.add_argument("experiment",
                         help="experiment id (see 'list'), 'all', 'list', "
-                             "'sweep', 'trace' or 'chaos'")
+                             "'sweep', 'trace', 'chaos' or 'load'")
     parser.add_argument("target", nargs="?", default=None,
                         help="(trace) experiment id to trace")
     parser.add_argument("--scale", type=float, default=None,
@@ -59,6 +61,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="(chaos/trace) follower placement: 'local' "
                              "(shared-memory ring, default) or 'remote' "
                              "(networked transport to replica machines)")
+    parser.add_argument("--engine", choices=("heap", "sharded"),
+                        default=None,
+                        help="(load/chaos) DES engine: 'heap' (single "
+                             "event heap, default) or 'sharded' "
+                             "(per-machine-group shards; bit-identical "
+                             "results, faster at high client counts)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="(load/chaos) shard count for "
+                             "--engine sharded; default: one per "
+                             "machine, capped at 8")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="(load) open-loop client pool size before "
+                             "--scale (default 1000)")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="(load) aggregate offered load in requests "
+                             "per virtual second before --scale "
+                             "(default 20000)")
     return parser
 
 
@@ -106,9 +125,11 @@ def run_chaos_command(args) -> int:
     invariant was violated.
     """
     from repro.faults.chaos import run_chaos
+    from repro.world import default_engine
 
-    journal, failures = run_chaos(args.seed, args.plans,
-                                  placement=args.placement or "local")
+    with default_engine(args.engine or "heap", shards=args.shards):
+        journal, failures = run_chaos(args.seed, args.plans,
+                                      placement=args.placement or "local")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(journal)
@@ -116,6 +137,38 @@ def run_chaos_command(args) -> int:
     else:
         print(journal, end="")
     return 1 if failures else 0
+
+
+def run_load_command(args) -> int:
+    """Drive the open-loop load-generation plane and print its curves.
+
+    Deterministic: the same flags produce a byte-identical report
+    whichever engine runs it — CI compares --engine heap against
+    --engine sharded output with cmp.
+    """
+    from repro.experiments.registry import ExperimentConfig, run_experiment
+    from repro.world import default_engine
+
+    options = [("seed", args.seed)]
+    if args.clients is not None:
+        options.append(("clients", args.clients))
+    if args.rate is not None:
+        options.append(("rate_rps", args.rate))
+    config = ExperimentConfig(scale=args.scale,
+                              options=tuple(sorted(options)))
+    engine = args.engine or "heap"
+    started = time.time()
+    with default_engine(engine, shards=args.shards):
+        result = run_experiment("loadcurve", config=config)
+    report = result.render() + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"[load curves written to {args.out} in "
+              f"{time.time() - started:.1f}s with --engine {engine}]")
+    else:
+        print(report, end="")
+    return 0
 
 
 def run_trace_command(args) -> int:
@@ -176,6 +229,8 @@ def main(argv=None) -> int:
         return run_trace_command(args)
     if args.experiment == "chaos":
         return run_chaos_command(args)
+    if args.experiment == "load":
+        return run_load_command(args)
 
     chosen = (sorted(EXPERIMENTS) if args.experiment == "all"
               else [args.experiment])

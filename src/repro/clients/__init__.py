@@ -1,6 +1,21 @@
-"""Client-side load generators (§4.2, §4.3, §5)."""
+"""Client-side load generators (§4.2, §4.3, §5) and the open-loop
+load-generation plane."""
 
-from repro.clients.base import ClientReport, connect_with_retry, recv_until
+from repro.clients.base import (
+    ClientReport,
+    LatencyDigest,
+    connect_with_retry,
+    recv_until,
+)
+from repro.clients.loadgen import (
+    DEFAULT_CLASSES,
+    LoadStats,
+    OpenLoopConfig,
+    RequestClass,
+    make_open_loop,
+    spawn_pool,
+)
+from repro.clients.topology import LoadTopology
 from repro.clients.tools import (
     REDIS_COMMANDS,
     make_apachebench,
@@ -14,8 +29,16 @@ from repro.clients.tools import (
 
 __all__ = [
     "ClientReport",
+    "LatencyDigest",
     "connect_with_retry",
     "recv_until",
+    "DEFAULT_CLASSES",
+    "LoadStats",
+    "LoadTopology",
+    "OpenLoopConfig",
+    "RequestClass",
+    "make_open_loop",
+    "spawn_pool",
     "REDIS_COMMANDS",
     "make_apachebench",
     "make_beanstalkd_benchmark",

@@ -7,25 +7,107 @@ overhead since network latency hides nothing.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.costmodel import SEC_PS, US_PS
 from repro.kernel.uapi import ECONNREFUSED, SysError
+from repro.obs.metrics import Histogram
+
+
+class LatencyDigest:
+    """Bounded latency accumulator: a power-of-two histogram plus a
+    fixed-size reservoir sample.
+
+    A 10k-client open-loop run observes millions of latencies; keeping
+    them all in a list (the old ``ClientReport.latencies_ps``) holds
+    megabytes of ints per report.  The digest is O(limit): averages come
+    from the histogram's exact count/total, and percentiles come from
+    the reservoir — *exact* while ``count <= limit`` (every sample is
+    retained, which is what the tests rely on), and interpolated within
+    the matching power-of-two bucket beyond that.
+
+    Reservoir replacement draws from a digest-local seeded RNG, so a
+    deterministic observation sequence yields a deterministic digest —
+    runs stay byte-for-byte reproducible.
+    """
+
+    __slots__ = ("hist", "reservoir", "limit", "_rng")
+
+    def __init__(self, limit: int = 4096) -> None:
+        self.hist = Histogram()
+        self.reservoir: list = []
+        self.limit = limit
+        self._rng = random.Random(0x1A7E)
+
+    @property
+    def count(self) -> int:
+        return self.hist.count
+
+    @property
+    def total(self) -> int:
+        return self.hist.total
+
+    def observe(self, value: int) -> None:
+        self.hist.observe(value)
+        if len(self.reservoir) < self.limit:
+            self.reservoir.append(value)
+        else:
+            # Algorithm R: each of the count samples ends up retained
+            # with probability limit/count.
+            slot = self._rng.randrange(self.hist.count)
+            if slot < self.limit:
+                self.reservoir[slot] = value
+
+    def avg_ps(self) -> float:
+        if not self.hist.count:
+            return 0.0
+        return self.hist.total / self.hist.count
+
+    def percentile_ps(self, pct: float) -> float:
+        count = self.hist.count
+        if not count:
+            return 0.0
+        if count <= self.limit:
+            ordered = sorted(self.reservoir)
+            index = min(count - 1, int(pct / 100.0 * count))
+            return float(ordered[index])
+        # Walk the histogram to the bucket holding the requested rank
+        # and interpolate linearly inside its value range.
+        rank = min(count - 1, int(pct / 100.0 * count))
+        cumulative = 0
+        for bucket, bucket_count in sorted(self.hist.buckets.items()):
+            if cumulative + bucket_count > rank:
+                low = 1 << (bucket - 1) if bucket > 0 else 0
+                high = (1 << bucket) - 1 if bucket > 0 else 0
+                if bucket_count == 1 or high <= low:
+                    return float(low)
+                fraction = (rank - cumulative) / (bucket_count - 1)
+                return low + fraction * (high - low)
+            cumulative += bucket_count
+        return float(self.hist.max or 0)
+
+    def snapshot(self) -> dict:
+        return self.hist.snapshot()
 
 
 @dataclass
 class ClientReport:
-    """What a load generator measured."""
+    """What a load generator measured.
+
+    Latency samples live in bounded :class:`LatencyDigest`s (overall
+    and per command), not unbounded lists — see the digest docstring.
+    """
 
     name: str
     requests: int = 0
     errors: int = 0
     started_ps: Optional[int] = None
     finished_ps: Optional[int] = None
-    latencies_ps: List[int] = field(default_factory=list)
-    #: Per-command latency samples (redis-benchmark style).
-    per_command: Dict[str, List[int]] = field(default_factory=dict)
+    latency: LatencyDigest = field(default_factory=LatencyDigest)
+    #: Per-command latency digests (redis-benchmark style).
+    per_command: Dict[str, LatencyDigest] = field(default_factory=dict)
 
     @property
     def duration_ps(self) -> int:
@@ -38,29 +120,29 @@ class ClientReport:
         return self.requests * SEC_PS / self.duration_ps
 
     def latency_avg_us(self) -> float:
-        if not self.latencies_ps:
-            return 0.0
-        return sum(self.latencies_ps) / len(self.latencies_ps) / US_PS
+        return self.latency.avg_ps() / US_PS
 
     def latency_percentile_us(self, pct: float) -> float:
-        if not self.latencies_ps:
-            return 0.0
-        ordered = sorted(self.latencies_ps)
-        index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
-        return ordered[index] / US_PS
+        return self.latency.percentile_ps(pct) / US_PS
 
     def command_avg_us(self, command: str) -> float:
-        samples = self.per_command.get(command, [])
-        if not samples:
-            return 0.0
-        return sum(samples) / len(samples) / US_PS
+        digest = self.per_command.get(command)
+        return digest.avg_ps() / US_PS if digest is not None else 0.0
+
+    def command_percentile_us(self, command: str, pct: float) -> float:
+        digest = self.per_command.get(command)
+        return (digest.percentile_ps(pct) / US_PS
+                if digest is not None else 0.0)
 
     def observe(self, latency_ps: int, command: Optional[str] = None,
                 now: Optional[int] = None) -> None:
         self.requests += 1
-        self.latencies_ps.append(latency_ps)
+        self.latency.observe(latency_ps)
         if command is not None:
-            self.per_command.setdefault(command, []).append(latency_ps)
+            digest = self.per_command.get(command)
+            if digest is None:
+                digest = self.per_command[command] = LatencyDigest()
+            digest.observe(latency_ps)
         if now is not None:
             if self.started_ps is None:
                 self.started_ps = now - latency_ps

@@ -310,7 +310,8 @@ class NvxSession:
             name=f"ring{self._next_tuple_id}", tracer=self.tracer,
             network=getattr(self.world, "network", None),
             producer_machine=leader_machine,
-            consumer_machines={v.vid: v.machine for v in self.variants})
+            consumer_machines={v.vid: v.machine for v in self.variants},
+            net_stats=getattr(self.world, "net_stats", None))
         ring = self.transport(ctx)
         ring.sample_distances = self.sample_distances
         # Session rings always run with slot integrity checks so injected

@@ -85,9 +85,13 @@ LOCAL_REGENERABLE = frozenset({
 
 class NetStats:
     """Network-transport counters, shaped like the translator's
-    ``CacheStats``: one process-global instance backs the always-present
-    ``net.*`` keys in ``repro.obs`` drain snapshots, and each ring keeps
-    its own instance for per-session metrics."""
+    ``CacheStats`` but scoped *per World*: every
+    :class:`~repro.world.World` owns one instance that all of its
+    networked rings feed (``repro.obs`` drains it for the always-present
+    ``net.*`` keys), and each ring additionally keeps its own instance
+    for per-session metrics.  Nothing is process-global, so parallel
+    sweep workers and back-to-back sessions cannot bleed counters into
+    each other."""
 
     __slots__ = ("frames", "bytes", "acks", "remote_lag",
                  "payload_elided", "bytes_saved")
@@ -115,11 +119,6 @@ class NetStats:
         }
 
 
-#: Process-global counters for ``repro.obs`` drain deltas (the same
-#: pattern as ``repro.isa.translator.GLOBAL_STATS``).
-GLOBAL_NET_STATS = NetStats()
-
-
 class NetRing(RingBuffer):
     """A :class:`RingBuffer` whose remote consumers see mirrored frames."""
 
@@ -127,7 +126,7 @@ class NetRing(RingBuffer):
                  "_visible", "_acked", "_ack_sent", "_ship_from",
                  "_flush_scheduled", "_send_floor", "_ack_floor",
                  "coalesce_ps", "max_batch", "ack_batch", "compress",
-                 "replicate", "net", "_ps_net_pack",
+                 "replicate", "net", "world_net", "_ps_net_pack",
                  "_ps_compress_per_byte")
 
     def __init__(self, sim, costs, network, producer_machine,
@@ -136,7 +135,8 @@ class NetRing(RingBuffer):
                  tracer=None, coalesce_ps: int = DEFAULT_COALESCE_PS,
                  max_batch: Optional[int] = None,
                  ack_batch: Optional[int] = None, compress: bool = False,
-                 replicate: str = REPLICATE_FULL) -> None:
+                 replicate: str = REPLICATE_FULL,
+                 world_stats: Optional[NetStats] = None) -> None:
         super().__init__(sim, costs, capacity=capacity, name=name,
                          tracer=tracer)
         if network is None:
@@ -173,6 +173,10 @@ class NetRing(RingBuffer):
         self.compress = compress
         self.replicate = replicate
         self.net = NetStats()
+        #: The owning world's aggregate sink (rings built outside a
+        #: world get a private one so the increment sites stay branch
+        #: free).
+        self.world_net = world_stats if world_stats is not None else NetStats()
         self._ps_net_pack = cycles(costs.stream.net_pack_event)
         self._ps_compress_per_byte = (
             costs.stream.net_compress_per_byte * CYCLE_PS)
@@ -274,13 +278,13 @@ class NetRing(RingBuffer):
                       else 0) - (shipped - EVENT_SIZE)
             if elided > 0:
                 self.net.payload_elided += elided
-                GLOBAL_NET_STATS.payload_elided += elided
+                self.world_net.payload_elided += elided
         nbytes = FRAME_HEADER_BYTES + body
         if self.compress:
             compressed = FRAME_HEADER_BYTES + int(body * COMPRESS_RATIO)
             saved = nbytes - compressed
             self.net.bytes_saved += saved
-            GLOBAL_NET_STATS.bytes_saved += saved
+            self.world_net.bytes_saved += saved
             nbytes = compressed
         tracer = self.tracer
         for machine in sorted(by_machine, key=lambda m: m.name):
@@ -292,8 +296,8 @@ class NetRing(RingBuffer):
             self._send_floor[machine.name] = arrival
             self.net.frames += 1
             self.net.bytes += nbytes
-            GLOBAL_NET_STATS.frames += 1
-            GLOBAL_NET_STATS.bytes += nbytes
+            self.world_net.frames += 1
+            self.world_net.bytes += nbytes
             if tracer is not None:
                 tracer.instant_here(
                     self.sim, "net", "frame",
@@ -341,7 +345,7 @@ class NetRing(RingBuffer):
             floor_ps=self._ack_floor.get(vid, 0))
         self._ack_floor[vid] = arrival
         self.net.acks += 1
-        GLOBAL_NET_STATS.acks += 1
+        self.world_net.acks += 1
 
     def _ack_arrived(self, vid: int, cursor: int) -> None:
         if vid not in self.cursors or vid not in self._remote:
@@ -350,7 +354,7 @@ class NetRing(RingBuffer):
             self._acked[vid] = cursor
             lag = self.head - cursor
             self.net.remote_lag += lag
-            GLOBAL_NET_STATS.remote_lag += lag
+            self.world_net.remote_lag += lag
             self.not_full.notify_ready()
 
     # -- failover -----------------------------------------------------------
@@ -409,6 +413,7 @@ def net_transport(coalesce_ps: int = DEFAULT_COALESCE_PS,
                        capacity=ctx.capacity, name=ctx.name,
                        tracer=ctx.tracer, coalesce_ps=coalesce_ps,
                        max_batch=max_batch, ack_batch=ack_batch,
-                       compress=compress, replicate=replicate)
+                       compress=compress, replicate=replicate,
+                       world_stats=ctx.net_stats)
 
     return build

@@ -133,6 +133,10 @@ class TransportContext:
     producer_machine: object = None
     #: vid → machine for every consumer that will subscribe.
     consumer_machines: Dict[int, object] = field(default_factory=dict)
+    #: The world's :class:`~repro.core.netring.NetStats` sink: network
+    #: transports aggregate their counters here so ``repro.obs`` can
+    #: report per-world totals without process-global state.
+    net_stats: object = None
 
 
 #: Factory signature: ``factory(ctx: TransportContext) -> EventTransport``.

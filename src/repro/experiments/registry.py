@@ -28,6 +28,7 @@ from repro.experiments import (
     figure6,
     figure7,
     figure8,
+    loadcurve,
     multirevision,
     recordreplay_exp,
     sanitization,
@@ -55,6 +56,7 @@ MODULES = {
     "recordreplay-5.4": recordreplay_exp,
     "ablations": ablations,
     "distributed": distributed,
+    "loadcurve": loadcurve,
 }
 
 #: experiment id → driver callable (kept as the stable public surface).

@@ -32,7 +32,7 @@ from repro.obs import metrics as obs_metrics
 #: same set ``python -m repro all --scale`` forwards to).
 SCALED_EXPERIMENTS = frozenset({
     "figure5", "figure6", "table2", "figure7", "figure8",
-    "sanitization-5.3", "recordreplay-5.4",
+    "loadcurve", "sanitization-5.3", "recordreplay-5.4",
 })
 
 #: The scale the committed ``benchmarks/reference_sweep.txt`` was

@@ -138,7 +138,6 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
 _collecting = False
 _sessions: List = []
 _tcache_base: Dict[str, int] = {}
-_net_base: Dict[str, int] = {}
 
 
 def _tcache_counters() -> Dict[str, int]:
@@ -147,19 +146,35 @@ def _tcache_counters() -> Dict[str, int]:
     return GLOBAL_STATS.as_dict()
 
 
-def _net_counters() -> Dict[str, int]:
-    """Process-wide networked-transport counters (see core.netring)."""
-    from repro.core.netring import GLOBAL_NET_STATS
-    return GLOBAL_NET_STATS.as_dict()
+def _net_counters(sessions) -> Dict[str, int]:
+    """Networked-transport counters for this point: the sum over the
+    distinct worlds its sessions ran on.
+
+    NetStats is scoped per World (see ``core.netring.NetStats``), so no
+    base/delta dance is needed — a point's sessions run on worlds built
+    inside the point, whose counters start at zero in every worker
+    process.  Keys are always present (zero for points that ship no
+    frames) so serial and parallel sweeps merge identically.
+    """
+    from repro.core.netring import NetStats
+    totals = NetStats().as_dict()
+    seen = set()
+    for session in sessions:
+        stats = getattr(getattr(session, "world", None), "net_stats", None)
+        if stats is None or id(stats) in seen:
+            continue
+        seen.add(id(stats))
+        for name, value in stats.as_dict().items():
+            totals[name] += value
+    return totals
 
 
 def start_collection() -> None:
     """Arm session registration for the sweep point about to run."""
-    global _collecting, _sessions, _tcache_base, _net_base
+    global _collecting, _sessions, _tcache_base
     _collecting = True
     _sessions = []
     _tcache_base = _tcache_counters()
-    _net_base = _net_counters()
 
 
 def register(session) -> None:
@@ -173,12 +188,13 @@ def drain() -> dict:
     """Snapshot every session registered since :func:`start_collection`,
     merge, and disarm.
 
-    Translation-cache and networked-transport counters are
-    process-global, so the snapshot carries the *delta* since
-    :func:`start_collection` — what this point's execution did,
-    independent of which worker process ran it.  The keys are always
-    present (zero for points that execute no guest code / ship no
-    frames) so serial and parallel sweeps merge identically.
+    Translation-cache counters are process-global, so the snapshot
+    carries the *delta* since :func:`start_collection` — what this
+    point's execution did, independent of which worker process ran it.
+    Networked-transport counters are scoped per World and summed over
+    the sessions' worlds directly.  The keys are always present (zero
+    for points that execute no guest code / ship no frames) so serial
+    and parallel sweeps merge identically.
     """
     global _collecting, _sessions
     sessions, _sessions = _sessions, []
@@ -186,9 +202,7 @@ def drain() -> dict:
     base = _tcache_base
     tcache = {"counters": {name: value - base.get(name, 0)
                            for name, value in _tcache_counters().items()}}
-    net_base = _net_base
-    net = {"counters": {name: value - net_base.get(name, 0)
-                        for name, value in _net_counters().items()}}
+    net = {"counters": _net_counters(sessions)}
     snapshots = [s.metrics_snapshot() for s in sessions]
     snapshots.append(tcache)
     snapshots.append(net)

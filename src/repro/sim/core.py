@@ -98,10 +98,14 @@ class EventHandle:
     pop time when its captured token no longer matches ``_wake_token``.
     """
 
-    __slots__ = ("_wake_token",)
+    __slots__ = ("_wake_token", "_shard_index")
 
     def __init__(self) -> None:
         self._wake_token = 0
+        #: Which event shard holds this handle's entry.  Always 0 under
+        #: the single-heap engine; the sharded engine assigns it at
+        #: schedule time so cancellation stays O(1)-lazy per shard.
+        self._shard_index = 0
 
     @property
     def cancelled(self) -> bool:
@@ -145,6 +149,20 @@ class Simulator:
     def current_process(self) -> Optional["Process"]:
         """The process whose generator is executing right now."""
         return self._current
+
+    def _register_machine(self, machine) -> None:
+        """Assign the machine's event shard.  The single-heap engine has
+        exactly one shard; :class:`repro.sim.shard.ShardedSimulator`
+        overrides this to spread machines across shards."""
+        machine._shard_index = 0
+
+    def schedule_on(self, machine, delay_ps: int,
+                    fn: Callable[[], None]) -> EventHandle:
+        """Like :meth:`schedule`, but hints which machine the callback
+        belongs to.  The single-heap engine ignores the hint; the sharded
+        engine routes the entry to the machine's shard (this is how
+        cross-machine network deliveries become cross-shard edges)."""
+        return self.schedule(delay_ps, fn)
 
     def schedule(self, delay_ps: int, fn: Callable[[], None]) -> EventHandle:
         """Run ``fn`` after ``delay_ps`` picoseconds of virtual time."""
@@ -192,6 +210,7 @@ class Simulator:
             if until_ps is not None and when > until_ps:
                 self._now = until_ps
                 heapq.heappush(heap, entry)
+                self.events_processed += events
                 return
             self._now = when
             entry[4](entry[5])
@@ -234,6 +253,7 @@ class Process:
 
     __slots__ = ("machine", "sim", "gen", "name", "daemon", "state",
                  "result", "exception", "cpu_ps", "_done_callbacks",
+                 "_shard_index",
                  "_wake_token", "_resume_value", "_resume_throw",
                  "_cb_after_compute", "_cb_after_sleep", "_cb_on_timeout",
                  "_cb_spin_resume", "_cb_granted_core", "__weakref__")
@@ -242,6 +262,9 @@ class Process:
                  daemon: bool = False) -> None:
         self.machine = machine
         self.sim: Simulator = machine.sim
+        #: A process's events always live in its machine's shard, so the
+        #: sharded engine's ``_post`` routes by one attribute load.
+        self._shard_index = machine._shard_index
         self.gen = gen
         self.name = name
         self.daemon = daemon

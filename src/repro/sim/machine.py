@@ -19,7 +19,8 @@ class Machine:
     (see :mod:`repro.apps.spec`).
     """
 
-    __slots__ = ("sim", "spec", "name", "free_cores", "_ready")
+    __slots__ = ("sim", "spec", "name", "free_cores", "_ready",
+                 "_shard_index")
 
     def __init__(self, sim: Simulator, spec: Optional[MachineSpec] = None,
                  name: str = "machine") -> None:
@@ -28,6 +29,9 @@ class Machine:
         self.name = name
         self.free_cores = self.spec.logical_cores
         self._ready: Deque[Process] = deque()
+        # Sets self._shard_index: which event shard this machine's
+        # processes schedule into (always 0 on the single-heap engine).
+        sim._register_machine(self)
 
     def spawn(self, gen, name: str = "proc", daemon: bool = False,
               start: bool = True) -> Process:

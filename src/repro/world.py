@@ -10,9 +10,11 @@ not import session classes directly.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Optional
 
 from repro.core.config import SessionConfig
+from repro.core.netring import NetStats
 from repro.costmodel import CostModel, DEFAULT_COSTS
 from repro.errors import NvxError
 from repro.kernel.kernel import Kernel
@@ -20,7 +22,51 @@ from repro.sim.core import Simulator
 from repro.sim.machine import Machine
 from repro.sim.network import Network
 
-__all__ = ["World", "SessionConfig"]
+__all__ = ["World", "SessionConfig", "default_engine"]
+
+#: Engine used when ``World(engine=None)``: "heap" (the single global
+#: event heap) or "sharded" (:class:`repro.sim.shard.ShardedSimulator`,
+#: bit-identical results, faster at high process counts).
+_DEFAULT_ENGINE = "heap"
+_DEFAULT_SHARDS: Optional[int] = None
+
+
+@contextmanager
+def default_engine(name: str, shards: Optional[int] = None):
+    """Context manager: make every World built inside use ``name``.
+
+    This is how whole experiment drivers (which construct their own
+    worlds) run under the sharded engine without threading an argument
+    through every call site — the identity tests and the CLI use it.
+    ``shards`` optionally pins the shard count (else one per machine,
+    capped).
+    """
+    global _DEFAULT_ENGINE, _DEFAULT_SHARDS
+    previous = (_DEFAULT_ENGINE, _DEFAULT_SHARDS)
+    _DEFAULT_ENGINE = name
+    _DEFAULT_SHARDS = shards
+    try:
+        yield
+    finally:
+        _DEFAULT_ENGINE, _DEFAULT_SHARDS = previous
+
+
+def _build_simulator(engine: Optional[str], shards: Optional[int],
+                     n_machines: int) -> Simulator:
+    engine = engine or _DEFAULT_ENGINE
+    if engine == "heap":
+        return Simulator()
+    if engine == "sharded":
+        from repro.sim.shard import ShardedSimulator
+        if shards is None:
+            shards = _DEFAULT_SHARDS
+        if shards is None:
+            # One shard per machine up to a cache-friendly cap: beyond
+            # ~8 the per-switch head scan starts eating the win.
+            shards = max(2, min(8, n_machines))
+        return ShardedSimulator(shards=shards)
+    raise NvxError(f"unknown engine {engine!r} "
+                   f"(choose 'heap' or 'sharded')")
 
 
 class World:
@@ -28,9 +74,10 @@ class World:
 
     def __init__(self, costs: CostModel = DEFAULT_COSTS,
                  machine_names=("server", "client"), seed: int = 0,
-                 tracer=None) -> None:
+                 tracer=None, engine: Optional[str] = None,
+                 shards: Optional[int] = None) -> None:
         self.costs = costs
-        self.sim = Simulator()
+        self.sim = _build_simulator(engine, shards, len(machine_names))
         if tracer is not None:
             # Explicit per-world tracer overrides the process-wide one
             # the simulator picked up (if any).
@@ -46,6 +93,10 @@ class World:
             for name in machine_names
         }
         self.kernel = Kernel(self.sim, self.network, costs, seed=seed)
+        #: Aggregate networked-transport counters for every session run
+        #: on this world (scoped here, not process-global, so parallel
+        #: sweep workers and back-to-back sessions never bleed).
+        self.net_stats = NetStats()
 
     def machine(self, name: str) -> Machine:
         """The named machine, with a diagnosable error when absent."""

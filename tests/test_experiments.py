@@ -117,7 +117,8 @@ class TestRegistry:
         expected = {"table1", "figure4", "figure5", "figure6", "table2",
                     "figure7", "figure8", "failover-5.1",
                     "multirevision-5.2", "sanitization-5.3",
-                    "recordreplay-5.4", "ablations", "distributed"}
+                    "recordreplay-5.4", "ablations", "distributed",
+                    "loadcurve"}
         assert expected == set(EXPERIMENTS)
 
     def test_unknown_experiment_rejected(self):

@@ -1,0 +1,249 @@
+"""Sharded DES engine: bit-identity with the single-heap engine.
+
+The contract under test is the one :mod:`repro.sim.shard` documents:
+for *any* shard count and *any* shard assignment, the sharded engine
+dispatches the same events, at the same virtual times, in the same
+order, with the same side effects as :class:`repro.sim.core.Simulator`.
+Hypothesis drives random programs through both engines and compares
+their full dispatch traces; the remaining tests pin the edge cases
+(until_ps pauses, clock rewind, deadlock, max_events) and the stale
+compaction machinery.
+"""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.core import Block, Compute, Simulator, Sleep
+from repro.sim.machine import Machine
+from repro.sim.shard import ShardedSimulator
+from repro.world import default_engine
+
+
+# -- random-program equivalence ---------------------------------------------
+
+_OPS = st.tuples(
+    st.sampled_from(["compute", "sleep", "block", "timer", "cancel",
+                     "burst"]),
+    st.integers(min_value=1, max_value=400))
+
+
+@st.composite
+def _program(draw):
+    n_machines = draw(st.integers(1, 4))
+    n_procs = draw(st.integers(1, 6))
+    procs = [(draw(st.integers(0, n_machines - 1)),
+              draw(st.lists(_OPS, min_size=1, max_size=10)))
+             for _ in range(n_procs)]
+    return n_machines, procs
+
+
+def _run_program(sim, program):
+    """Execute a generated program, returning its full dispatch trace."""
+    n_machines, procs = program
+    machines = [Machine(sim, name=f"m{i}") for i in range(n_machines)]
+    log = []
+
+    def worker(pid, ops):
+        for i, (op, arg) in enumerate(ops):
+            log.append(("op", pid, i, op, sim.now))
+            if op == "compute":
+                yield Compute(arg)
+            elif op == "sleep":
+                yield Sleep(arg)
+            elif op == "block":
+                yield Block(timeout_ps=arg)
+            elif op == "timer":
+                sim.schedule(arg, lambda pid=pid, i=i:
+                             log.append(("fire", pid, i, sim.now)))
+            elif op == "cancel":
+                handle = sim.schedule(
+                    arg, lambda pid=pid, i=i:
+                    log.append(("cancelled-fired!", pid, i)))
+                handle.cancel()
+            elif op == "burst":
+                # Retransmit-timer shape: stagger several timers, cancel
+                # half — the standing stale population compaction eats.
+                handles = [sim.schedule(arg + 13 * k, lambda pid=pid,
+                                        i=i, k=k: log.append(
+                                            ("burst", pid, i, k, sim.now)))
+                           for k in range(4)]
+                for k, handle in enumerate(handles):
+                    if k % 2:
+                        handle.cancel()
+                yield Sleep(1)
+
+    for pid, (machine_index, ops) in enumerate(procs):
+        machines[machine_index].spawn(worker(pid, ops), name=f"p{pid}")
+    sim.run()
+    return log, sim.now, sim.events_processed
+
+
+class TestRandomProgramEquivalence:
+    @given(_program(), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_identical_to_single_heap(self, program, shards):
+        baseline = _run_program(Simulator(), program)
+        sharded = _run_program(ShardedSimulator(shards=shards), program)
+        assert sharded == baseline
+
+    @given(_program(), st.integers(2, 4), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_any_shard_assignment_is_equivalent(self, program, shards,
+                                                salt):
+        """Dispatch order cannot depend on which shard holds a machine."""
+        baseline = _run_program(Simulator(), program)
+        scrambled = ShardedSimulator(
+            shards=shards,
+            group_of=lambda name: (int(name[1:]) * 0x9E3779B1 + salt))
+        assert _run_program(scrambled, program) == baseline
+
+
+# -- run() edge-case parity --------------------------------------------------
+
+def _staged(sim):
+    """A small fixed program with events straddling t=500."""
+    machine = Machine(sim, name="m0")
+    log = []
+
+    def worker():
+        for step in range(6):
+            log.append((sim.now, step))
+            yield Sleep(200)
+
+    machine.spawn(worker(), name="w", daemon=True)
+    return log
+
+
+class TestRunEdges:
+    def test_until_ps_pause_and_resume_parity(self):
+        results = []
+        for sim in (Simulator(), ShardedSimulator(shards=3)):
+            log = _staged(sim)
+            sim.run(until_ps=500)
+            paused = (sim.now, list(log), sim.events_processed)
+            sim.run()
+            results.append((paused, (sim.now, log, sim.events_processed)))
+        assert results[0] == results[1]
+        (paused, _final) = results[0]
+        assert paused[0] == 500  # clock parked exactly at the deadline
+
+    def test_clock_rewind_diverts_immediate_lane(self):
+        """run(until_ps=<earlier>) rewinds the clock; a delay-0 event
+        scheduled then must not break the immediate lane's sort order."""
+        logs = []
+        for sim in (Simulator(), ShardedSimulator(shards=2)):
+            log = []
+            sim.schedule(50, lambda log=log: log.append(("late", 50)))
+            sim.run(until_ps=40)
+            assert sim.now == 40
+            sim.schedule(0, lambda log=log, sim=sim:
+                         log.append(("imm40", sim.now)))
+            sim.run(until_ps=20)  # rewind: now goes 40 -> 20
+            assert sim.now == 20
+            sim.schedule(0, lambda log=log, sim=sim:
+                         log.append(("imm20", sim.now)))
+            sim.run()
+            logs.append(log)
+        assert logs[0] == logs[1]
+        assert logs[0] == [("imm20", 20), ("imm40", 40), ("late", 50)]
+
+    def test_deadlock_error_parity(self):
+        for sim in (Simulator(), ShardedSimulator(shards=2)):
+            machine = Machine(sim, name="m0")
+
+            def stuck():
+                yield Block()  # no timeout, nobody will wake us
+
+            machine.spawn(stuck(), name="stuck")
+            with pytest.raises(DeadlockError):
+                sim.run()
+
+    def test_max_events_parity(self):
+        counts = []
+        for sim in (Simulator(), ShardedSimulator(shards=2)):
+            def ticker(sim=sim):
+                def tick():
+                    sim.schedule(10, tick)
+                tick()
+            ticker()
+            with pytest.raises(SimulationError):
+                sim.run(max_events=100)
+            counts.append(sim.events_processed)
+        assert counts[0] == counts[1]
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(SimulationError):
+            ShardedSimulator(shards=0)
+
+
+# -- stale compaction --------------------------------------------------------
+
+class TestCompaction:
+    def test_cancelled_timers_are_compacted(self):
+        sim = ShardedSimulator(shards=2)
+        Machine(sim, name="m0")
+        fired = []
+        for i in range(2000):
+            handle = sim.schedule(10_000 + i, lambda i=i: fired.append(i))
+            if i % 100:
+                handle.cancel()
+        assert sim.stale_dropped > 0  # geometric trigger already ran
+        sim.run()
+        assert fired == [i for i in range(2000) if i % 100 == 0]
+        assert sim.pending_events() == 0
+
+    def test_events_processed_excludes_stale(self):
+        """Both engines count only real dispatches, so the stat is part
+        of the bit-identity contract."""
+        stats = []
+        for sim in (Simulator(), ShardedSimulator(shards=3)):
+            fired = []
+            for i in range(500):
+                handle = sim.schedule(100 + i, lambda i=i: fired.append(i))
+                if i % 3:
+                    handle.cancel()
+            sim.run()
+            stats.append((sim.events_processed, fired))
+        assert stats[0] == stats[1]
+
+
+# -- shard assignment --------------------------------------------------------
+
+class TestAssignment:
+    def test_round_robin_default(self):
+        sim = ShardedSimulator(shards=3)
+        machines = [Machine(sim, name=f"m{i}") for i in range(7)]
+        assert [m._shard_index for m in machines] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_group_of_policy(self):
+        sim = ShardedSimulator(shards=4, group_of=lambda n: int(n[1:]) * 3)
+        machines = [Machine(sim, name=f"m{i}") for i in range(8)]
+        assert [m._shard_index for m in machines] == [
+            i * 3 % 4 for i in range(8)]
+
+
+# -- whole-experiment identity ----------------------------------------------
+
+def test_experiment_cell_identical_under_sharded_engine():
+    """A full NVX experiment driver (sessions, ring, network) renders
+    byte-identically whichever engine runs it."""
+    from repro.experiments.registry import run_experiment
+
+    with default_engine("heap"):
+        heap = run_experiment("figure4").render()
+    with default_engine("sharded", shards=4):
+        sharded = run_experiment("figure4").render()
+    assert sharded == heap
+
+
+def test_chaos_journal_identical_under_sharded_engine():
+    """Fault plans (kills, delays, failover) replay bit-identically."""
+    from repro.faults.chaos import run_chaos
+
+    with default_engine("heap"):
+        heap_journal, heap_failures = run_chaos(5, 3)
+    with default_engine("sharded", shards=4):
+        shard_journal, shard_failures = run_chaos(5, 3)
+    assert shard_journal == heap_journal
+    assert shard_failures == heap_failures

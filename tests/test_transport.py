@@ -335,15 +335,42 @@ class TestMetrics:
         assert snap["net.frames"] == ring.net.frames
         assert snap["net.bytes"] == ring.net.bytes
 
-    def test_drain_carries_global_net_deltas(self):
+    def test_drain_carries_per_world_net_counters(self):
+        # NetStats is scoped per World: drain() sums the worlds of the
+        # sessions registered since start_collection(), so a ring built
+        # on another world (or a leftover from a previous point) cannot
+        # bleed into this point's snapshot.
+        from repro.core import VersionSpec
         from repro.obs import metrics as obs_metrics
+        from repro.world import World
+
+        def main(ctx):
+            yield from ctx.compute(1_000)
+            return 0
+
         obs_metrics.start_collection()
+        world = World(machine_names=("server", "client", "replica1"))
+        session = world.nvx(
+            [VersionSpec("a", main), VersionSpec("b", main)],
+            placement={1: "replica1"}).start()
+        world.run()
+        counters = obs_metrics.drain()["counters"]
+        assert counters["net.frames"] == world.net_stats.frames > 0
+        assert counters["net.bytes"] == world.net_stats.bytes > 0
+        assert session.root_tuple.ring.world_net is world.net_stats
+
+    def test_world_net_counters_do_not_bleed_across_sessions(self):
+        # A second, unrelated world's traffic must not show up in a
+        # point that only registered the first world's session.
         sim, a, b, network, ring = rig(max_batch=2)
         publish_n(sim, a, ring, 2)
-        snap = obs_metrics.drain()
-        counters = snap["counters"]
-        assert counters["net.frames"] == 1
-        assert counters["net.bytes"] == ring.net.bytes
+        assert ring.world_net.frames == ring.net.frames > 0
+
+        from repro.obs import metrics as obs_metrics
+        obs_metrics.start_collection()
+        counters = obs_metrics.drain()["counters"]
+        assert counters["net.frames"] == 0
+        assert counters["net.bytes"] == 0
 
     def test_drain_net_keys_always_present(self):
         from repro.obs import metrics as obs_metrics
