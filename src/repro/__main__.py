@@ -14,6 +14,8 @@ Usage::
     python -m repro chaos --seed 7 --plans 20 --placement remote
     python -m repro load --clients 1000 --rate 20000
     python -m repro load --scale 0.02 --engine sharded --out curves.txt
+    python -m repro fuzz --seed 1 --budget 12
+    python -m repro fuzz --seed 1 --budget 12 --out journal.txt
 """
 
 from __future__ import annotations
@@ -29,7 +31,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Varan paper's tables and figures")
     parser.add_argument("experiment",
                         help="experiment id (see 'list'), 'all', 'list', "
-                             "'sweep', 'trace', 'chaos' or 'load'")
+                             "'sweep', 'trace', 'chaos', 'load' or "
+                             "'fuzz'")
     parser.add_argument("target", nargs="?", default=None,
                         help="(trace) experiment id to trace")
     parser.add_argument("--scale", type=float, default=None,
@@ -51,8 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="(trace) also stream raw trace records to "
                              "this JSONL file")
     parser.add_argument("--seed", type=int, default=7,
-                        help="(chaos) master seed for workloads and "
-                             "fault plans")
+                        help="(chaos/fuzz) master seed for workloads, "
+                             "fault plans and scenario sampling")
+    parser.add_argument("--budget", type=int, default=12,
+                        help="(fuzz) number of scenarios to run")
+    parser.add_argument("--no-synthesis", action="store_true",
+                        help="(fuzz) skip the BPF rule-synthesis pass")
     parser.add_argument("--plans", type=int, default=20,
                         help="(chaos) number of (workload, fault plan) "
                              "pairs to run")
@@ -171,6 +178,32 @@ def run_load_command(args) -> int:
     return 0
 
 
+def run_fuzz_command(args) -> int:
+    """Drive the scenario fuzzer's autopilot.
+
+    The report (journal + synthesized rules) is byte-identical across
+    runs of the same --seed/--budget — CI cmp-checks two runs.  Exit
+    status is non-zero when any scenario produced an output mismatch or
+    invariant violation that no synthesized rule absorbed.
+    """
+    from repro.fuzz import run_fuzz
+
+    started = time.time()
+    report = run_fuzz(seed=args.seed, budget=args.budget,
+                      synthesis=not args.no_synthesis)
+    text = report.render()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"[fuzz report written to {args.out} in "
+              f"{time.time() - started:.1f}s]")
+    else:
+        print(text, end="")
+    counts = report.journal.counts()
+    bad = counts["mismatch"] + counts["violation"] + counts["deadlock"]
+    return 1 if bad else 0
+
+
 def run_trace_command(args) -> int:
     """Run one experiment with tracing armed and export a Chrome trace.
 
@@ -231,6 +264,8 @@ def main(argv=None) -> int:
         return run_chaos_command(args)
     if args.experiment == "load":
         return run_load_command(args)
+    if args.experiment == "fuzz":
+        return run_fuzz_command(args)
 
     chosen = (sorted(EXPERIMENTS) if args.experiment == "all"
               else [args.experiment])

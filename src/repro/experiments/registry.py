@@ -28,6 +28,7 @@ from repro.experiments import (
     figure6,
     figure7,
     figure8,
+    fuzzsummary,
     loadcurve,
     multirevision,
     recordreplay_exp,
@@ -57,6 +58,7 @@ MODULES = {
     "ablations": ablations,
     "distributed": distributed,
     "loadcurve": loadcurve,
+    "fuzz-summary": fuzzsummary,
 }
 
 #: experiment id → driver callable (kept as the stable public surface).

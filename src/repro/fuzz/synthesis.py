@@ -1,0 +1,122 @@
+"""Rule synthesis: turn observed benign divergences into BPF rewrite
+rules and prove they absorb their source.
+
+VARAN's rewrite rules (§4.4) are how operators paper over known-benign
+divergences between revisions — a follower that issues one extra
+``getuid``, a leader that logs where the follower doesn't.  Writing them
+by hand requires staring at the event stream; the fuzzer already *has*
+the event stream, so it closes the loop automatically:
+
+1. a scenario run reports a fatal divergence ``(follower call X,
+   leader event Y)``;
+2. :func:`synthesize_candidates` emits the two canonical repairs — an
+   ALLOW rule keyed on the follower's extra call nr, and a SKIP rule
+   keyed on the leader's extra event nr — each assembled through the
+   normal :mod:`repro.bpf` pipeline and re-checked by the verifier;
+3. :func:`attempt_absorb` re-runs the *same* scenario (same sub-seed,
+   same workload draw) under each candidate in turn; the rule wins only
+   if the re-run is completely clean: no fatal divergences, no output
+   mismatches, no invariant violations.
+
+A rule that merely silences the kill but corrupts outputs or breaks the
+ring contract fails step 3 — the invariant checker is the arbiter, not
+the absence of the original symptom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.bpf.assembler import assemble_bpf
+from repro.bpf.rules import RewriteRules
+from repro.fuzz.executor import run_scenario
+from repro.fuzz.generator import Scenario
+from repro.kernel.uapi import SYSCALL_NUMBERS
+
+__all__ = ["SynthesizedRule", "synthesize_candidates", "attempt_absorb"]
+
+
+@dataclass(frozen=True)
+class SynthesizedRule:
+    """One verified candidate repair for a specific divergence."""
+
+    #: "allow" (follower's extra call executes locally) or "skip"
+    #: (leader's extra event is consumed and discarded).
+    action: str
+    #: The divergence it targets: (follower call name, leader event name).
+    call_name: str
+    event_name: str
+    source: str
+    #: Set by attempt_absorb once the re-run came back clean.
+    absorbed: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"synth-{self.action}-{self.call_name}-{self.event_name}"
+
+    def program(self):
+        """Assemble (and thereby verify) the rule program."""
+        return assemble_bpf(self.source, name=self.name)
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.action.upper()} for follower call "
+                f"{self.call_name} vs leader event {self.event_name}")
+
+
+def synthesize_candidates(call_name: str, event_name: str
+                          ) -> List[SynthesizedRule]:
+    """Propose verified candidate rules for one observed divergence.
+
+    ALLOW comes first: letting the follower run its extra benign call
+    locally is the less invasive repair (nothing of the leader's stream
+    is discarded), so absorption tries it before SKIP.  Candidates whose
+    syscall has no number in the sim's table are skipped; candidates
+    that fail verification are dropped (assembly verifies on
+    construction, so surviving entries are verified by definition).
+    """
+    candidates: List[SynthesizedRule] = []
+    call_nr = SYSCALL_NUMBERS.get(call_name)
+    event_nr = SYSCALL_NUMBERS.get(event_name)
+    if call_nr is not None:
+        allow_src = (f"ld [0]\n"
+                     f"jeq #{call_nr}, good\n"
+                     f"ret #0\n"
+                     f"good: ret #0x7fff0000\n")
+        candidates.append(SynthesizedRule("allow", call_name, event_name,
+                                          allow_src))
+    if event_nr is not None:
+        skip_src = (f"ld event[0]\n"
+                    f"jeq #{event_nr}, good\n"
+                    f"ret #0\n"
+                    f"good: ret #0x7ffe0000\n")
+        candidates.append(SynthesizedRule("skip", call_name, event_name,
+                                          skip_src))
+    verified = []
+    for rule in candidates:
+        try:
+            rule.program()
+        except Exception:
+            continue
+        verified.append(rule)
+    return verified
+
+
+def attempt_absorb(scenario: Scenario, call_name: str, event_name: str
+                   ) -> Tuple[Optional[SynthesizedRule], List[SynthesizedRule]]:
+    """Try each candidate against a re-run of ``scenario``.
+
+    Returns ``(winner, candidates)`` — ``winner`` is the first candidate
+    whose re-run is clean (marked ``absorbed=True``), or None if no
+    candidate absorbs the divergence.
+    """
+    candidates = synthesize_candidates(call_name, event_name)
+    for rule in candidates:
+        rules = RewriteRules([rule.program()])
+        rerun = run_scenario(scenario, rules=rules)
+        if rerun.clean:
+            winner = SynthesizedRule(rule.action, rule.call_name,
+                                     rule.event_name, rule.source,
+                                     absorbed=True)
+            return winner, candidates
+    return None, candidates

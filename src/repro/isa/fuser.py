@@ -221,6 +221,14 @@ def fuse_block(cpu, block):
         em.emit("while True:")
         em.base = 1
         em.loop_total = block.cycles
+        # Inside a self-loop every localized register may carry state
+        # from completed iterations, no matter where its writer sits in
+        # program order — a fault site emitted *before* the writer still
+        # needs its spill (the locals are the truth; writing back an
+        # unmodified one is a no-op).  Seed the dirty set with the whole
+        # localized universe so every guard in the body spills it all.
+        em.dirty = set(localized)
+        em.zf_dirty = zf_used
 
     for i, insn in enumerate(insns):
         op_id = insn.op_id

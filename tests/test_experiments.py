@@ -118,7 +118,7 @@ class TestRegistry:
                     "figure7", "figure8", "failover-5.1",
                     "multirevision-5.2", "sanitization-5.3",
                     "recordreplay-5.4", "ablations", "distributed",
-                    "loadcurve"}
+                    "loadcurve", "fuzz-summary"}
         assert expected == set(EXPERIMENTS)
 
     def test_unknown_experiment_rejected(self):

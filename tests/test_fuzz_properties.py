@@ -1,0 +1,121 @@
+"""Hypothesis properties for the BPF layer the rule synthesizer leans on.
+
+The synthesis loop (``repro.fuzz.synthesis``) is only sound if two
+things hold unconditionally:
+
+* every rule it can emit passes ``bpf/verifier.py`` — synthesis must
+  never hand the monitor an unverifiable program;
+* a verified program never crashes ``bpf/interpreter.py``, whatever
+  divergence payload (follower nr/args × leader event words) it is
+  evaluated against — byzantine inputs may only change the *verdict*,
+  never raise.
+
+Hypothesis drives both over the full input space rather than the
+handful of divergences the fuzzer happens to find.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bpf.assembler import assemble_bpf
+from repro.bpf.rules import (
+    ACTION_ALLOW,
+    ACTION_KILL,
+    ACTION_SKIP,
+    RewriteRules,
+)
+from repro.bpf.verifier import verify
+from repro.fuzz.synthesis import synthesize_candidates
+from repro.kernel.uapi import SYSCALL_NUMBERS
+
+_SETTINGS = settings(max_examples=200, deadline=None, derandomize=True)
+
+_names = st.sampled_from(sorted(SYSCALL_NUMBERS))
+_u32 = st.integers(min_value=0, max_value=2**32 - 1)
+_u64 = st.integers(min_value=0, max_value=2**64 - 1)
+_nr = st.integers(min_value=-1, max_value=2**31 - 1)
+_args = st.lists(_u64, min_size=0, max_size=6)
+_event_words = st.lists(_u32, min_size=0, max_size=8)
+
+
+class TestSynthesizedRulesAlwaysVerify:
+    @_SETTINGS
+    @given(call=_names, event=_names)
+    def test_candidates_verify_and_are_total(self, call, event):
+        """Every candidate the synthesizer can emit re-verifies from
+        source and covers both rule directions."""
+        candidates = synthesize_candidates(call, event)
+        assert len(candidates) == 2
+        assert [c.action for c in candidates] == ["allow", "skip"]
+        for candidate in candidates:
+            program = candidate.program()  # assembles → verifies
+            verify(program.insns)          # and explicitly again
+
+    @_SETTINGS
+    @given(call=_names, event=_names, nr=_nr, args=_args,
+           words=_event_words)
+    def test_candidate_verdicts_are_exact(self, call, event, nr, args,
+                                          words):
+        """A synthesized rule fires exactly on its target divergence:
+        the ALLOW rule keys on the follower's call nr, the SKIP rule on
+        the leader's event word 0 — anything else stays KILL."""
+        allow, skip = synthesize_candidates(call, event)
+        rules = RewriteRules([allow.program()])
+        verdict = rules.evaluate(nr, args, words)
+        assert verdict == (ACTION_ALLOW if nr == SYSCALL_NUMBERS[call]
+                           else ACTION_KILL)
+        rules = RewriteRules([skip.program()])
+        verdict = rules.evaluate(nr, args, words)
+        expected = (ACTION_SKIP
+                    if words and words[0] == SYSCALL_NUMBERS[event]
+                    else ACTION_KILL)
+        assert verdict == expected
+
+
+@st.composite
+def _random_verified_program(draw):
+    """A random straight-line filter through the real assembler: loads
+    from seccomp_data or the event view, optional jeq, a RET — the
+    grammar synthesis and operators actually write."""
+    lines = []
+    source = draw(st.sampled_from(["data", "event"]))
+    if source == "data":
+        offset = draw(st.integers(min_value=0, max_value=7)) * 8
+        lines.append(f"ld [{offset}]")
+    else:
+        lines.append(f"ld event[{draw(st.integers(0, 7))}]")
+    if draw(st.booleans()):
+        k = draw(_u32)
+        lines.append(f"jeq #{k}, hit")
+        lines.append("ret #0")
+        lines.append(f"hit: ret #{draw(st.sampled_from([0, 0x7fff0000, 0x7ffe0000]))}")
+    else:
+        lines.append(f"ret #{draw(st.sampled_from([0, 0x7fff0000, 0x7ffe0000]))}")
+    return "\n".join(lines) + "\n"
+
+
+class TestVerifiedRulesNeverCrash:
+    @_SETTINGS
+    @given(source=_random_verified_program(), nr=_nr, args=_args,
+           words=_event_words)
+    def test_interpreter_total_on_random_payloads(self, source, nr,
+                                                  args, words):
+        """A verified program evaluated against arbitrary divergence
+        payloads returns a verdict — never raises."""
+        program = assemble_bpf(source, name="prop")
+        rules = RewriteRules([program])
+        verdict = rules.evaluate(nr, args, words)
+        assert verdict in (ACTION_ALLOW, ACTION_SKIP, ACTION_KILL)
+
+    @_SETTINGS
+    @given(call=_names, event=_names, nr=_nr, args=_args,
+           words=_event_words)
+    def test_synthesized_rules_total_on_random_payloads(
+            self, call, event, nr, args, words):
+        """Both synthesized candidates together: still total."""
+        candidates = synthesize_candidates(call, event)
+        rules = RewriteRules([c.program() for c in candidates])
+        verdict = rules.evaluate(nr, args, words)
+        assert verdict in (ACTION_ALLOW, ACTION_SKIP, ACTION_KILL)

@@ -1,0 +1,234 @@
+"""Mutation-style self-test for the NVX conformance oracle.
+
+``faults/invariants.py`` is the arbiter every chaos and fuzz run leans
+on, so it gets the mutation treatment: deliberately inject each
+violation class the checker claims to catch — dropped external events,
+non-dense sequence numbers, stale consumer cursors, escaped lockstep
+rounds, starved followers — and assert the matching invariant fires
+(and *only* when injected: every clean counterpart stays silent).
+A checker that silently stopped catching a class would pass every
+integration test whose runs happen to be conformant; this file is what
+fails instead.
+"""
+
+import pytest
+
+from repro.core.events import syscall_event
+from repro.faults.invariants import InvariantChecker
+
+
+class FakeRing:
+    """The minimal surface the checker's hooks touch."""
+
+    def __init__(self, name="ring0"):
+        self.name = name
+        self.tracer = None
+        self.sim = None
+        self.cursors = {}
+        self.head = 0
+
+
+def _event(clock, seq, name="close"):
+    event = syscall_event(name, 0, clock, retval=0)
+    event.seq = seq
+    return event
+
+
+class FakeVariant:
+    def __init__(self, alive=True):
+        self.alive = alive
+
+
+class FakeTuple:
+    def __init__(self, ring):
+        self.ring = ring
+
+
+class FakeSession:
+    def __init__(self, ring, leader="leader", n_alive=2):
+        self.leader = leader
+        self.variants = [FakeVariant() for _ in range(n_alive)]
+        self.tuples = [FakeTuple(ring)]
+
+
+class TestPublishInvariants:
+    def test_dense_publishes_are_silent(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        for i in range(5):
+            checker.on_publish(ring, _event(clock=i + 1, seq=i))
+        assert checker.violations == []
+
+    def test_seq_gap_fires_non_monotonic(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.on_publish(ring, _event(clock=1, seq=0))
+        checker.on_publish(ring, _event(clock=2, seq=2))  # dropped seq 1
+        assert any("non-monotonic publish" in v
+                   for v in checker.violations)
+
+    def test_seq_reorder_fires_non_monotonic(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.on_publish(ring, _event(clock=1, seq=0))
+        checker.on_publish(ring, _event(clock=2, seq=1))
+        checker.on_publish(ring, _event(clock=3, seq=1))  # replayed slot
+        assert any("non-monotonic publish" in v
+                   for v in checker.violations)
+
+    def test_clock_gap_fires_dropped_event(self):
+        """A new leader that skips part of the dead leader's backlog
+        publishes with a too-large clock — the failover invariant."""
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.on_publish(ring, _event(clock=1, seq=0))
+        checker.on_publish(ring, _event(clock=3, seq=1))  # clock 2 lost
+        assert any("dropped or duplicated across failover" in v
+                   for v in checker.violations)
+
+    def test_clock_duplicate_fires_dropped_event(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.on_publish(ring, _event(clock=1, seq=0))
+        checker.on_publish(ring, _event(clock=1, seq=1))  # replayed
+        assert any("dropped or duplicated" in v for v in checker.violations)
+
+    def test_rings_are_tracked_independently(self):
+        checker = InvariantChecker()
+        ring_a, ring_b = FakeRing("ring0"), FakeRing("ring1")
+        checker.on_publish(ring_a, _event(clock=1, seq=0))
+        checker.on_publish(ring_b, _event(clock=1, seq=0))
+        checker.on_publish(ring_a, _event(clock=2, seq=1))
+        assert checker.violations == []
+
+
+class TestConsumeInvariants:
+    def test_in_order_consumption_is_silent(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        for i in range(4):
+            checker.on_consume(ring, 1, _event(clock=i + 1, seq=i))
+        assert checker.violations == []
+
+    def test_stale_cursor_fires(self):
+        """A consumer that re-reads an already-consumed slot (stale
+        cursor) must be caught."""
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.on_consume(ring, 1, _event(clock=1, seq=0))
+        checker.on_consume(ring, 1, _event(clock=1, seq=0))  # stale
+        assert any("consumer 1 consumed seq 0, expected 1" in v
+                   for v in checker.violations)
+
+    def test_consume_gap_fires(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.on_consume(ring, 2, _event(clock=1, seq=0))
+        checker.on_consume(ring, 2, _event(clock=3, seq=2))  # skipped 1
+        assert any("consumer 2 consumed seq 2, expected 1" in v
+                   for v in checker.violations)
+
+    def test_consumers_are_tracked_independently(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.on_consume(ring, 1, _event(clock=1, seq=0))
+        checker.on_consume(ring, 2, _event(clock=1, seq=0))
+        checker.on_consume(ring, 1, _event(clock=2, seq=1))
+        assert checker.violations == []
+
+
+class TestLockstepInvariants:
+    def test_uniform_round_is_silent(self):
+        checker = InvariantChecker()
+        checker.on_lockstep_round("strict", 1, ["read", "read", "read"])
+        assert checker.violations == []
+
+    def test_escaped_mixed_round_fires(self):
+        checker = InvariantChecker()
+        checker.on_lockstep_round("strict", 2, ["read", "write"])
+        assert any("escaped the monitor" in v for v in checker.violations)
+
+    def test_caught_mixed_round_is_conformant(self):
+        """A mixed round the monitor itself flagged is the expected
+        fatal-divergence path, not a checker finding."""
+        checker = InvariantChecker()
+        checker.on_lockstep_round("strict", 3, ["read", "write"],
+                                  caught=True)
+        assert checker.violations == []
+
+
+class TestFinalCheck:
+    def test_drained_followers_are_silent(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        ring.head = 10
+        ring.cursors = {1: 10, 2: 10}
+        checker.attach_session(FakeSession(ring))
+        assert checker.final_check() == []
+
+    def test_starved_follower_fires(self):
+        """A live consumer parked behind the head at end-of-run means
+        an event it was owed never arrived."""
+        checker = InvariantChecker()
+        ring = FakeRing()
+        ring.head = 10
+        ring.cursors = {1: 10, 2: 7}
+        checker.attach_session(FakeSession(ring))
+        checker.final_check()
+        assert any("consumer 2 ended 3 events behind" in v
+                   for v in checker.violations)
+
+    def test_leaderless_survivors_fire(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.attach_session(FakeSession(ring, leader=None))
+        checker.final_check()
+        assert any("live variants but no leader" in v
+                   for v in checker.violations)
+
+    def test_fully_dead_session_is_silent(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        session = FakeSession(ring, leader=None, n_alive=0)
+        checker.attach_session(session)
+        assert checker.final_check() == []
+
+
+class TestRoundtripInvariant:
+    def test_roundtrip_checks_run_and_pass_on_real_events(self):
+        checker = InvariantChecker(roundtrip_every=1)
+        ring = FakeRing()
+        for i in range(3):
+            checker.on_publish(ring, _event(clock=i + 1, seq=i))
+        assert checker.roundtrips_checked == 3
+        assert checker.violations == []
+
+    def test_uncodable_event_fires(self):
+        """An event the log codec cannot round-trip is a finding, not a
+        crash."""
+        checker = InvariantChecker(roundtrip_every=1)
+        ring = FakeRing()
+        event = _event(clock=1, seq=0)
+        event.etype = "bogus"  # no wire code for this etype
+        checker.on_publish(ring, event)
+        assert any("codec failed" in v or "round-trip" in v
+                   for v in checker.violations)
+
+
+class TestProcessAccounting:
+    def test_each_injection_bumps_process_counter(self):
+        from repro.faults import invariants as mod
+        before = mod.process_violations()
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.on_publish(ring, _event(clock=1, seq=0))
+        checker.on_publish(ring, _event(clock=3, seq=2))  # two violations
+        assert mod.process_violations() - before == 2
+        assert len(checker.violations) == 2
+
+    def test_summary_counts_violations(self):
+        checker = InvariantChecker()
+        ring = FakeRing()
+        checker.on_publish(ring, _event(clock=1, seq=0))
+        checker.on_publish(ring, _event(clock=3, seq=2))
+        assert "2 violations" in checker.summary()

@@ -136,15 +136,17 @@ class TestMetrics:
         _micro_session()
         snap = obs_metrics.drain()
         # No session counters leak in; only the always-present
-        # translation-cache and network-transport keys appear (and this
-        # point ran no guest code after start_collection, so they are
-        # deltas over nothing).
-        assert all(name.startswith(("tcache.", "net."))
+        # translation-cache, network-transport and fuzz keys appear
+        # (and this point ran no guest code after start_collection, so
+        # they are deltas over nothing).
+        assert all(name.startswith(("tcache.", "net.", "fuzz."))
                    for name in snap["counters"])
         from repro.core.netring import NetStats
+        from repro.fuzz.journal import FuzzStats
         from repro.isa.translator import CacheStats
         assert set(snap["counters"]) == (set(CacheStats().as_dict())
-                                         | set(NetStats().as_dict()))
+                                         | set(NetStats().as_dict())
+                                         | set(FuzzStats().as_dict()))
         # The chaining/fusion counters and the superblock length
         # histogram ride along as always-present keys.
         assert "tcache.chain_follows" in snap["counters"]
